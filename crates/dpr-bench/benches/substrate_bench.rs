@@ -1,0 +1,122 @@
+//! Criterion benchmarks for the non-FASTER substrates: the Redis-like
+//! store, the Cassandra-like commit-log store, the shared log, and the
+//! storage devices.
+
+use bytes::Bytes;
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use dpr_cassandra::{CassandraConfig, CassandraStore, CommitLogSync};
+use dpr_core::{Key, ShardId, Value};
+use dpr_log::{ConsumerId, SharedLog};
+use dpr_redis::{Command, RedisConfig, RedisStore};
+use dpr_storage::{LogDevice, MemBlobStore, MemLogDevice};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn bench_redis(c: &mut Criterion) {
+    let mut g = c.benchmark_group("redis-store");
+    g.throughput(Throughput::Elements(1));
+    let mut store =
+        RedisStore::new(RedisConfig::default(), Arc::new(MemBlobStore::new()), None).unwrap();
+    for i in 0..100_000u64 {
+        store
+            .execute(&Command::Set(Key::from_u64(i), Value::from_u64(i)))
+            .unwrap();
+    }
+    let mut i = 0u64;
+    g.bench_function("set", |b| {
+        b.iter(|| {
+            store
+                .execute(&Command::Set(
+                    Key::from_u64(i % 100_000),
+                    Value::from_u64(i),
+                ))
+                .unwrap();
+            i += 1;
+        })
+    });
+    g.bench_function("get", |b| {
+        b.iter(|| {
+            black_box(
+                store
+                    .execute(&Command::Get(Key::from_u64(i % 100_000)))
+                    .unwrap(),
+            );
+            i += 1;
+        })
+    });
+    g.finish();
+}
+
+fn bench_cassandra(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cassandra-store");
+    g.throughput(Throughput::Elements(1));
+    for (name, sync) in [
+        ("write-off", CommitLogSync::Off),
+        ("write-periodic", CommitLogSync::Periodic),
+        ("write-group", CommitLogSync::Group),
+    ] {
+        let store = CassandraStore::new(CassandraConfig { sync }, Arc::new(MemLogDevice::null()));
+        let mut i = 0u64;
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                store
+                    .write(Key::from_u64(i % 100_000), Some(Value::from_u64(i)))
+                    .unwrap();
+                i += 1;
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_shared_log(c: &mut Criterion) {
+    let mut g = c.benchmark_group("shared-log");
+    g.throughput(Throughput::Elements(1));
+    let log = SharedLog::new(
+        ShardId(0),
+        Arc::new(MemLogDevice::null()),
+        Arc::new(MemBlobStore::new()),
+    );
+    let payload = Bytes::from_static(b"0123456789abcdef");
+    g.bench_function("enqueue", |b| {
+        b.iter(|| {
+            black_box(log.enqueue(payload.clone()));
+        })
+    });
+    let mut consumer = 0u64;
+    g.bench_function("poll-16", |b| {
+        b.iter(|| {
+            consumer += 1;
+            black_box(log.poll(ConsumerId(consumer), 16));
+        })
+    });
+    g.finish();
+}
+
+fn bench_device(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mem-log-device");
+    let dev = MemLogDevice::null();
+    let payload = [7u8; 64];
+    g.throughput(Throughput::Bytes(64));
+    g.bench_function("append-64B", |b| {
+        b.iter(|| {
+            black_box(dev.append(&payload).unwrap());
+        })
+    });
+    let mut buf = [0u8; 64];
+    let mut addr = 0u64;
+    g.bench_function("read-64B", |b| {
+        b.iter(|| {
+            black_box(dev.read(addr % dev.tail().max(1), &mut buf).unwrap());
+            addr += 64;
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    name = substrates;
+    config = Criterion::default().sample_size(20).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(500));
+    targets = bench_redis, bench_cassandra, bench_shared_log, bench_device
+);
+criterion_main!(substrates);

@@ -1,0 +1,50 @@
+//! Ablation — exact vs approximate vs hybrid DPR finders (§3.3–3.4).
+//!
+//! Same workload, three cut-finding algorithms. Reports throughput (the
+//! finder is off the critical path, so it should be flat) and mean commit
+//! latency (the approximate finder's false dependencies can add staleness;
+//! the hybrid recovers exact precision).
+
+use dpr_bench::util::ms;
+use dpr_bench::util::row;
+use dpr_bench::{harness, keyspace, point_duration, BenchParams};
+use dpr_cluster::{Cluster, ClusterConfig};
+use dpr_core::DprFinderMode;
+use dpr_ycsb::{KeyDistribution, WorkloadSpec};
+use std::time::Duration;
+
+fn main() {
+    let keys = keyspace();
+    let duration = point_duration();
+    for (label, mode) in [
+        ("exact", DprFinderMode::Exact),
+        ("approximate", DprFinderMode::Approximate),
+        ("hybrid", DprFinderMode::Hybrid),
+    ] {
+        let config = ClusterConfig {
+            shards: 4,
+            finder_mode: mode,
+            checkpoint_interval: Some(Duration::from_millis(50)),
+            ..ClusterConfig::default()
+        };
+        let cluster = Cluster::start(config).expect("start cluster");
+        harness::preload(&cluster, keys);
+        let mut params = BenchParams::new(WorkloadSpec::ycsb_a(
+            keys,
+            KeyDistribution::Zipfian { theta: 0.99 },
+        ));
+        params.duration = duration;
+        params.measure_commit = true;
+        let stats = harness::run_workload(&cluster, &params);
+        row(
+            "ablation-finder",
+            &[
+                ("finder", label.to_string()),
+                ("mops", format!("{:.4}", stats.mops())),
+                ("mean_commit_ms", ms(stats.commit_latency.mean())),
+                ("p99_commit_ms", ms(stats.commit_latency.percentile(99.0))),
+            ],
+        );
+        cluster.shutdown();
+    }
+}

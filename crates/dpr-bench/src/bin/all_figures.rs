@@ -1,0 +1,34 @@
+//! Run the entire figure suite in sequence (same process), printing every
+//! row. `DPR_BENCH_SECS` / `DPR_BENCH_KEYS` scale all experiments.
+
+use std::process::Command;
+
+fn main() {
+    let bins = [
+        "fig10",
+        "fig11",
+        "fig12",
+        "fig13",
+        "fig14",
+        "fig15",
+        "fig16",
+        "fig17",
+        "fig18",
+        "fig19",
+        "ablation_finder",
+        "ablation_fastforward",
+        "ablation_checkpoint_mode",
+        "ablation_strict", "extra_workloads",
+    ];
+    let exe = std::env::current_exe().expect("current exe");
+    let dir = exe.parent().expect("bin dir");
+    for bin in bins {
+        eprintln!("==> running {bin}");
+        let status = Command::new(dir.join(bin))
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
+        if !status.success() {
+            eprintln!("!! {bin} exited with {status}");
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! Extra workload mixes (§7.2's omitted experiments): read-mostly (YCSB-B),
+//! read-modify-write (YCSB-F) and read-latest (YCSB-D), each with DPR on
+//! and off — supporting the paper's statement that "DPR does not slow down
+//! D-FASTER" across mixes.
+
+use dpr_bench::util::row;
+use dpr_bench::{harness, keyspace, point_duration, BenchParams};
+use dpr_cluster::{Cluster, ClusterConfig};
+use dpr_core::RecoverabilityLevel;
+use dpr_ycsb::{KeyDistribution, WorkloadSpec};
+use std::time::Duration;
+
+fn main() {
+    let keys = keyspace();
+    let duration = point_duration();
+    let zipf = KeyDistribution::Zipfian { theta: 0.99 };
+    let workloads: Vec<(&str, WorkloadSpec)> = vec![
+        ("ycsb-a(50:50)", WorkloadSpec::ycsb_a(keys, zipf)),
+        ("ycsb-b(95:5)", WorkloadSpec::ycsb_b(keys, zipf)),
+        ("ycsb-f(rmw)", WorkloadSpec::ycsb_f(keys, zipf)),
+        ("ycsb-d(latest)", WorkloadSpec::ycsb_d(keys)),
+    ];
+    for (name, spec) in workloads {
+        for (series, level) in [
+            ("dpr", RecoverabilityLevel::Dpr),
+            ("no-dpr", RecoverabilityLevel::Eventual),
+        ] {
+            let cluster = Cluster::start(ClusterConfig {
+                shards: 4,
+                recoverability: level,
+                checkpoint_interval: Some(Duration::from_millis(100)),
+                ..ClusterConfig::default()
+            })
+            .expect("start cluster");
+            harness::preload(&cluster, keys);
+            let mut params = BenchParams::new(spec.clone());
+            params.duration = duration;
+            let stats = harness::run_workload(&cluster, &params);
+            row(
+                "extra-workloads",
+                &[
+                    ("workload", name.to_string()),
+                    ("series", series.to_string()),
+                    ("mops", format!("{:.4}", stats.mops())),
+                ],
+            );
+            cluster.shutdown();
+        }
+    }
+}

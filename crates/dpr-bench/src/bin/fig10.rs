@@ -1,0 +1,55 @@
+//! Figure 10 — Scaling out D-FASTER.
+//!
+//! Throughput vs number of shards for YCSB-A 50:50 under uniform and
+//! Zipfian(0.99) access, across storage backends: no checkpoints, null
+//! device, local SSD, cloud SSD.
+
+use dpr_bench::util::{env_list, row};
+use dpr_bench::{harness, keyspace, point_duration, BenchParams};
+use dpr_cluster::{Cluster, ClusterConfig};
+use dpr_storage::StorageProfile;
+use dpr_ycsb::{KeyDistribution, WorkloadSpec};
+use std::time::Duration;
+
+fn main() {
+    let shard_counts = env_list("DPR_BENCH_SHARDS", &[1, 2, 4, 8]);
+    let keys = keyspace();
+    let duration = point_duration();
+    let backends: &[(&str, Option<StorageProfile>)] = &[
+        ("no-chkpt", None),
+        ("null", Some(StorageProfile::Null)),
+        ("local-ssd", Some(StorageProfile::LocalSsd)),
+        ("cloud-ssd", Some(StorageProfile::CloudSsd)),
+    ];
+    for (dist_name, dist) in [
+        ("uniform", KeyDistribution::Uniform),
+        ("zipfian", KeyDistribution::Zipfian { theta: 0.99 }),
+    ] {
+        for (backend, profile) in backends {
+            for &shards in &shard_counts {
+                let config = ClusterConfig {
+                    shards: shards as usize,
+                    storage: profile.unwrap_or(StorageProfile::Null),
+                    checkpoint_interval: profile.map(|_| Duration::from_millis(100)),
+                    ..ClusterConfig::default()
+                };
+                let cluster = Cluster::start(config).expect("start cluster");
+                harness::preload(&cluster, keys);
+                let mut params = BenchParams::new(WorkloadSpec::ycsb_a(keys, dist));
+                params.duration = duration;
+                let stats = harness::run_workload(&cluster, &params);
+                row(
+                    "fig10",
+                    &[
+                        ("dist", dist_name.to_string()),
+                        ("backend", (*backend).to_string()),
+                        ("shards", shards.to_string()),
+                        ("mops", format!("{:.4}", stats.mops())),
+                        ("committed", stats.committed.to_string()),
+                    ],
+                );
+                cluster.shutdown();
+            }
+        }
+    }
+}

@@ -1,0 +1,62 @@
+//! Figure 11 — Scaling up D-FASTER.
+//!
+//! Throughput vs client threads per fixed cluster, for three configurations:
+//! no checkpoints, checkpoints without DPR tracking, and full DPR. Shows
+//! that DPR adds minimal overhead over plain uncoordinated checkpoints.
+
+use dpr_bench::util::{env_list, row};
+use dpr_bench::{harness, keyspace, point_duration, BenchParams};
+use dpr_cluster::{Cluster, ClusterConfig};
+use dpr_core::RecoverabilityLevel;
+use dpr_ycsb::{KeyDistribution, WorkloadSpec};
+use std::time::Duration;
+
+fn main() {
+    let thread_counts = env_list("DPR_BENCH_THREADS", &[1, 2, 4]);
+    let keys = keyspace();
+    let duration = point_duration();
+    let series: &[(&str, RecoverabilityLevel, Option<Duration>)] = &[
+        ("no-chkpt", RecoverabilityLevel::None, None),
+        (
+            "no-dpr",
+            RecoverabilityLevel::Eventual,
+            Some(Duration::from_millis(100)),
+        ),
+        (
+            "dpr",
+            RecoverabilityLevel::Dpr,
+            Some(Duration::from_millis(100)),
+        ),
+    ];
+    for (dist_name, dist) in [
+        ("uniform", KeyDistribution::Uniform),
+        ("zipfian", KeyDistribution::Zipfian { theta: 0.99 }),
+    ] {
+        for (name, level, interval) in series {
+            for &threads in &thread_counts {
+                let config = ClusterConfig {
+                    shards: 2,
+                    recoverability: *level,
+                    checkpoint_interval: *interval,
+                    ..ClusterConfig::default()
+                };
+                let cluster = Cluster::start(config).expect("start cluster");
+                harness::preload(&cluster, keys);
+                let mut params = BenchParams::new(WorkloadSpec::ycsb_a(keys, dist));
+                params.clients = threads as usize;
+                params.duration = duration;
+                let stats = harness::run_workload(&cluster, &params);
+                row(
+                    "fig11",
+                    &[
+                        ("dist", dist_name.to_string()),
+                        ("series", (*name).to_string()),
+                        ("threads", threads.to_string()),
+                        ("mops", format!("{:.4}", stats.mops())),
+                    ],
+                );
+                cluster.shutdown();
+            }
+        }
+    }
+}

@@ -1,0 +1,51 @@
+//! Figure 12 — Latency distribution of D-FASTER.
+//!
+//! Operation-completion and operation-commit latency distributions under
+//! 100 ms checkpoints, for a large batch (b=1024) and a small batch (b=64).
+//! Commit latency ≈ one checkpoint interval + checkpoint duration;
+//! operation latency is dominated by client batching.
+
+use dpr_bench::util::{ms, percentile_label, row, PERCENTILES};
+use dpr_bench::{harness, keyspace, point_duration, BenchParams};
+use dpr_cluster::{Cluster, ClusterConfig};
+use dpr_ycsb::{KeyDistribution, WorkloadSpec};
+use std::time::Duration;
+
+fn main() {
+    let keys = keyspace();
+    let duration = point_duration().max(Duration::from_secs(2));
+    for batch in [1024u64, 64] {
+        let config = ClusterConfig {
+            shards: 4,
+            checkpoint_interval: Some(Duration::from_millis(100)),
+            ..ClusterConfig::default()
+        };
+        let cluster = Cluster::start(config).expect("start cluster");
+        harness::preload(&cluster, keys);
+        let mut params = BenchParams::new(WorkloadSpec::ycsb_a(
+            keys,
+            KeyDistribution::Zipfian { theta: 0.99 },
+        ));
+        params.batch = batch as usize;
+        params.window = (batch as usize) * 16;
+        params.duration = duration;
+        params.measure_commit = true;
+        let stats = harness::run_workload(&cluster, &params);
+        for (kind, hist) in [
+            ("operation", &stats.op_latency),
+            ("commit", &stats.commit_latency),
+        ] {
+            let mut fields = vec![
+                ("batch", batch.to_string()),
+                ("kind", kind.to_string()),
+                ("samples", hist.count().to_string()),
+                ("mean_ms", ms(hist.mean())),
+            ];
+            for &p in PERCENTILES {
+                fields.push((percentile_label(p), ms(hist.percentile(p))));
+            }
+            row("fig12", &fields);
+        }
+        cluster.shutdown();
+    }
+}

@@ -1,0 +1,48 @@
+//! Figure 13 — Throughput–latency trade-off.
+//!
+//! Sweep the client batch size `b` (window w = 16·b) at 100 ms checkpoints
+//! and plot mean operation latency against throughput. Small batches give
+//! sub-millisecond latency at reduced throughput; beyond the sweet spot,
+//! larger batches only add latency.
+
+use dpr_bench::util::{env_list, ms, row};
+use dpr_bench::{harness, keyspace, point_duration, BenchParams};
+use dpr_cluster::{Cluster, ClusterConfig};
+use dpr_ycsb::{KeyDistribution, WorkloadSpec};
+use std::time::Duration;
+
+fn main() {
+    let batches = env_list(
+        "DPR_BENCH_BATCHES",
+        &[1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024],
+    );
+    let keys = keyspace();
+    let duration = point_duration();
+    let config = ClusterConfig {
+        shards: 4,
+        checkpoint_interval: Some(Duration::from_millis(100)),
+        ..ClusterConfig::default()
+    };
+    let cluster = Cluster::start(config).expect("start cluster");
+    harness::preload(&cluster, keys);
+    for &b in &batches {
+        let mut params = BenchParams::new(WorkloadSpec::ycsb_a(
+            keys,
+            KeyDistribution::Zipfian { theta: 0.99 },
+        ));
+        params.batch = b as usize;
+        params.window = (b as usize) * 16;
+        params.duration = duration;
+        let stats = harness::run_workload(&cluster, &params);
+        row(
+            "fig13",
+            &[
+                ("batch", b.to_string()),
+                ("mops", format!("{:.4}", stats.mops())),
+                ("mean_latency_ms", ms(stats.op_latency.mean())),
+                ("p99_latency_ms", ms(stats.op_latency.percentile(99.0))),
+            ],
+        );
+    }
+    cluster.shutdown();
+}

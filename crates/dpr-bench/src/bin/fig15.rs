@@ -1,0 +1,51 @@
+//! Figure 15 — Co-location throughput.
+//!
+//! Clients run on the workers themselves; a configurable fraction of
+//! operations hit the local shard (no network), the rest go remote. Sweeps
+//! the co-location percentage and the batch size: local execution is
+//! insensitive to batching, so low-batch workloads benefit most.
+
+use dpr_bench::util::{env_list, row};
+use dpr_bench::{harness, keyspace, point_duration, BenchParams};
+use dpr_cluster::{Cluster, ClusterConfig};
+use dpr_ycsb::{KeyDistribution, WorkloadSpec};
+use std::time::Duration;
+
+fn main() {
+    let percents = env_list("DPR_BENCH_COLOCATE", &[0, 25, 50, 75, 90, 99, 100]);
+    let batches = env_list("DPR_BENCH_BATCHES", &[1, 16, 256]);
+    let keys = keyspace();
+    let duration = point_duration();
+    // Remote operations must pay a real network cost for co-location to
+    // matter; the paper's clients and servers were separate VMs.
+    let config = ClusterConfig {
+        shards: 4,
+        checkpoint_interval: Some(Duration::from_millis(100)),
+        network_latency: Duration::from_micros(300),
+        ..ClusterConfig::default()
+    };
+    let cluster = Cluster::start(config).expect("start cluster");
+    harness::preload(&cluster, keys);
+    for &b in &batches {
+        for &p in &percents {
+            let mut params = BenchParams::new(WorkloadSpec::ycsb_a(
+                keys,
+                KeyDistribution::Zipfian { theta: 0.99 },
+            ));
+            params.batch = b as usize;
+            params.window = (b as usize * 16).max(64);
+            params.duration = duration;
+            params.colocate_local_fraction = Some(p as f64 / 100.0);
+            let stats = harness::run_workload(&cluster, &params);
+            row(
+                "fig15",
+                &[
+                    ("batch", b.to_string()),
+                    ("local_pct", p.to_string()),
+                    ("mops", format!("{:.4}", stats.mops())),
+                ],
+            );
+        }
+    }
+    cluster.shutdown();
+}

@@ -1,0 +1,96 @@
+//! Figure 17 — Throughput of D-Redis vs Redis vs Redis+proxy.
+//!
+//! Three configurations over the same sharded Redis-like store:
+//! * `redis` — clients talk to the store servers directly (one hop, no DPR);
+//! * `redis-proxy` — a pass-through proxy adds a hop but does no DPR work,
+//!   isolating the cost of the extra hop (§7.5);
+//! * `d-redis` — proxy hop + the full libDPR wrapper.
+//!
+//! Run saturated (w=8192, b=1024) and unsaturated (w=1024, b=16) as in the
+//! paper.
+
+use dpr_bench::util::{env_list, row};
+use dpr_bench::{harness, keyspace, point_duration, BenchParams};
+use dpr_cluster::{Cluster, ClusterConfig, ClusterKind};
+use dpr_core::RecoverabilityLevel;
+use dpr_ycsb::{KeyDistribution, WorkloadSpec};
+use std::time::Duration;
+
+fn run_wrapped(
+    shards: usize,
+    keys: u64,
+    window: usize,
+    batch: usize,
+    duration: Duration,
+    dpr: bool,
+    proxy: bool,
+) -> f64 {
+    let config = ClusterConfig {
+        kind: ClusterKind::DRedis,
+        shards,
+        recoverability: if dpr {
+            RecoverabilityLevel::Dpr
+        } else {
+            RecoverabilityLevel::None
+        },
+        checkpoint_interval: if dpr {
+            Some(Duration::from_millis(250))
+        } else {
+            None
+        },
+        extra_proxy_hop: proxy,
+        ..ClusterConfig::default()
+    };
+    let cluster = Cluster::start(config).expect("start cluster");
+    harness::preload(&cluster, keys);
+    let mut params = BenchParams::new(WorkloadSpec::ycsb_a(
+        keys,
+        KeyDistribution::Zipfian { theta: 0.99 },
+    ));
+    params.window = window;
+    params.batch = batch;
+    params.duration = duration;
+    let stats = harness::run_workload(&cluster, &params);
+    cluster.shutdown();
+    stats.mops()
+}
+
+fn main() {
+    let shard_counts = env_list("DPR_BENCH_SHARDS", &[1, 2, 4, 8]);
+    let keys = keyspace().min(50_000); // Redis-like stores are preloaded serially
+    let duration = point_duration();
+    let modes: &[(&str, usize, usize)] = &[("saturated", 8192, 1024), ("unsaturated", 1024, 16)];
+    for (mode, window, batch) in modes {
+        for &shards in &shard_counts {
+            let plain = run_wrapped(
+                shards as usize,
+                keys,
+                *window,
+                *batch,
+                duration,
+                false,
+                false,
+            );
+            let proxy = run_wrapped(
+                shards as usize,
+                keys,
+                *window,
+                *batch,
+                duration,
+                false,
+                true,
+            );
+            let dredis = run_wrapped(shards as usize, keys, *window, *batch, duration, true, true);
+            row(
+                "fig17",
+                &[
+                    ("mode", (*mode).to_string()),
+                    ("shards", shards.to_string()),
+                    ("redis_mops", format!("{plain:.4}")),
+                    ("redis_proxy_mops", format!("{proxy:.4}")),
+                    ("dredis_mops", format!("{dredis:.4}")),
+                ],
+            );
+        }
+    }
+}

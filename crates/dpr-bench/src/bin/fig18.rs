@@ -1,0 +1,83 @@
+//! Figure 18 — Latency distribution of D-Redis vs Redis vs Redis+proxy.
+//!
+//! Unsaturated load (small windows/batches) so latency is visible: direct
+//! Redis has the lowest latency; the pass-through proxy adds a hop; D-Redis
+//! matches the proxy (the DPR header work itself is negligible — the hop
+//! dominates, §7.5).
+
+use dpr_bench::util::{ms, percentile_label, row, PERCENTILES};
+use dpr_bench::{harness, keyspace, point_duration, BenchParams};
+use dpr_cluster::{Cluster, ClusterConfig, ClusterKind};
+use dpr_core::RecoverabilityLevel;
+use dpr_ycsb::{KeyDistribution, LatencyHistogram, WorkloadSpec};
+use std::time::Duration;
+
+fn print_hist(config: &str, hist: &LatencyHistogram) {
+    let mut fields = vec![
+        ("config", config.to_string()),
+        ("samples", hist.count().to_string()),
+        ("mean_ms", ms(hist.mean())),
+    ];
+    for &p in PERCENTILES {
+        fields.push((percentile_label(p), ms(hist.percentile(p))));
+    }
+    row("fig18", &fields);
+}
+
+fn wrapped_latency(
+    shards: usize,
+    keys: u64,
+    batch: usize,
+    duration: Duration,
+    dpr: bool,
+    proxy: bool,
+) -> LatencyHistogram {
+    let config = ClusterConfig {
+        kind: ClusterKind::DRedis,
+        shards,
+        recoverability: if dpr {
+            RecoverabilityLevel::Dpr
+        } else {
+            RecoverabilityLevel::None
+        },
+        checkpoint_interval: if dpr {
+            Some(Duration::from_millis(250))
+        } else {
+            None
+        },
+        extra_proxy_hop: proxy,
+        ..ClusterConfig::default()
+    };
+    let cluster = Cluster::start(config).expect("start cluster");
+    harness::preload(&cluster, keys);
+    let mut params = BenchParams::new(WorkloadSpec::ycsb_a(
+        keys,
+        KeyDistribution::Zipfian { theta: 0.99 },
+    ));
+    params.clients = 1;
+    params.window = batch * 4;
+    params.batch = batch;
+    params.duration = duration;
+    let stats = harness::run_workload(&cluster, &params);
+    cluster.shutdown();
+    stats.op_latency
+}
+
+fn main() {
+    let keys = keyspace().min(50_000);
+    let duration = point_duration();
+    let shards = 4;
+    let batch = 16;
+    print_hist(
+        "redis",
+        &wrapped_latency(shards, keys, batch, duration, false, false),
+    );
+    print_hist(
+        "redis-proxy",
+        &wrapped_latency(shards, keys, batch, duration, false, true),
+    );
+    print_hist(
+        "d-redis",
+        &wrapped_latency(shards, keys, batch, duration, true, true),
+    );
+}

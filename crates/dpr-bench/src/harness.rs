@@ -1,0 +1,376 @@
+//! Shared load-generation harness: windowed, batched client sessions over a
+//! running cluster, measuring throughput, operation latency, commit latency,
+//! and (for the recovery experiment) time-bucketed series.
+
+use dpr_cluster::{Cluster, ClusterOp, SessionHandle};
+use dpr_core::{Key, Value};
+use dpr_metadata::Cut;
+use dpr_ycsb::{LatencyHistogram, ThroughputSeries, WorkloadGen, WorkloadOp, WorkloadSpec};
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+/// Load parameters (the paper's `w` and `b`, §7.1).
+#[derive(Debug, Clone)]
+pub struct BenchParams {
+    /// Concurrent client sessions.
+    pub clients: usize,
+    /// Outstanding-operation window per client (`w`).
+    pub window: usize,
+    /// Operations per batch (`b`).
+    pub batch: usize,
+    /// Measurement duration.
+    pub duration: Duration,
+    /// Workload.
+    pub spec: WorkloadSpec,
+    /// Co-location: `Some(p)` opens each session co-located with a worker
+    /// and draws a fraction `p` of keys from the local shard (§7.3).
+    pub colocate_local_fraction: Option<f64>,
+    /// Track commit latency (costs a little bookkeeping).
+    pub measure_commit: bool,
+}
+
+impl BenchParams {
+    /// Sensible defaults for a laptop-scale run.
+    #[must_use]
+    pub fn new(spec: WorkloadSpec) -> Self {
+        BenchParams {
+            clients: 2,
+            window: 1024,
+            batch: 64,
+            duration: Duration::from_secs(2),
+            spec,
+            colocate_local_fraction: None,
+            measure_commit: false,
+        }
+    }
+}
+
+/// Aggregated results of one run.
+#[derive(Debug)]
+pub struct RunStats {
+    /// Ops completed during the measurement window.
+    pub completed: u64,
+    /// Ops known committed by the end of the run.
+    pub committed: u64,
+    /// Ops aborted by failures.
+    pub aborted: u64,
+    /// Wall-clock duration.
+    pub duration: Duration,
+    /// Operation completion latency.
+    pub op_latency: LatencyHistogram,
+    /// Operation commit latency.
+    pub commit_latency: LatencyHistogram,
+}
+
+impl RunStats {
+    /// Throughput in Mop/s.
+    #[must_use]
+    pub fn mops(&self) -> f64 {
+        self.completed as f64 / self.duration.as_secs_f64() / 1e6
+    }
+
+    /// Throughput in op/s.
+    #[must_use]
+    pub fn ops_per_sec(&self) -> f64 {
+        self.completed as f64 / self.duration.as_secs_f64()
+    }
+}
+
+fn op_to_cluster(op: WorkloadOp) -> ClusterOp {
+    match op {
+        WorkloadOp::Read(k) => ClusterOp::Read(k),
+        WorkloadOp::Update(k, v) => ClusterOp::Upsert(k, v),
+        WorkloadOp::Rmw(k) => ClusterOp::Incr(k),
+    }
+}
+
+/// Build per-shard key pools so co-located clients can draw local keys
+/// without rejection sampling.
+fn shard_key_pools(cluster: &Cluster, keys: u64) -> Vec<Vec<u64>> {
+    let shards = cluster.workers().len();
+    let mut pools = vec![Vec::new(); shards];
+    for k in 0..keys {
+        let key = Key::from_u64(k);
+        if let Ok(owner) = cluster.owner_of(&key) {
+            pools[owner.0 as usize].push(k);
+        }
+    }
+    pools
+}
+
+struct ClientState {
+    session: SessionHandle,
+    gen: WorkloadGen,
+    issue_times: HashMap<u64, Instant>,
+    commit_queue: std::collections::VecDeque<(u64, Instant)>,
+    local_pool: Option<Vec<u64>>,
+    local_fraction: f64,
+    rng_state: u64,
+}
+
+impl ClientState {
+    fn next_batch(&mut self, batch: usize) -> Vec<ClusterOp> {
+        let mut ops = Vec::with_capacity(batch);
+        for _ in 0..batch {
+            let op = if let Some(pool) = &self.local_pool {
+                // Classify local vs global, then draw the key accordingly
+                // (§7.3's methodology).
+                self.rng_state = self
+                    .rng_state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1);
+                let roll = (self.rng_state >> 33) as f64 / (1u64 << 31) as f64;
+                if roll < self.local_fraction && !pool.is_empty() {
+                    let idx = (self.rng_state >> 17) as usize % pool.len();
+                    let key = Key::from_u64(pool[idx]);
+                    // Preserve the read/update mix.
+                    match self.gen.next_op() {
+                        WorkloadOp::Read(_) => WorkloadOp::Read(key),
+                        WorkloadOp::Update(_, v) => WorkloadOp::Update(key, v),
+                        WorkloadOp::Rmw(_) => WorkloadOp::Rmw(key),
+                    }
+                } else {
+                    self.gen.next_op()
+                }
+            } else {
+                self.gen.next_op()
+            };
+            ops.push(op_to_cluster(op));
+        }
+        ops
+    }
+}
+
+/// Run the workload against `cluster` and gather statistics.
+pub fn run_workload(cluster: &Cluster, params: &BenchParams) -> RunStats {
+    let pools = params
+        .colocate_local_fraction
+        .map(|_| shard_key_pools(cluster, params.spec.keys));
+    let cut_source = cluster.cut_source();
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for c in 0..params.clients {
+            let session = match params.colocate_local_fraction {
+                Some(_) => cluster
+                    .open_session_colocated(c % cluster.workers().len())
+                    .expect("open colocated session"),
+                None => cluster.open_session().expect("open session"),
+            };
+            let local_pool = pools
+                .as_ref()
+                .map(|p| p[c % cluster.workers().len()].clone());
+            let mut state = ClientState {
+                session,
+                gen: WorkloadGen::new(params.spec.clone(), c as u64 + 1),
+                issue_times: HashMap::new(),
+                commit_queue: std::collections::VecDeque::new(),
+                local_pool,
+                local_fraction: params.colocate_local_fraction.unwrap_or(0.0),
+                rng_state: 0x9E3779B97F4A7C15 ^ (c as u64),
+            };
+            let params = params.clone();
+            let cut_source = &cut_source;
+            handles.push(scope.spawn(move || client_loop(&mut state, &params, start, cut_source)));
+        }
+        let results: Vec<RunStats> = handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread"))
+            .collect();
+        merge(results, start.elapsed())
+    })
+}
+
+fn client_loop(
+    state: &mut ClientState,
+    params: &BenchParams,
+    start: Instant,
+    cut_source: &(impl Fn() -> Cut + Send),
+) -> RunStats {
+    let deadline = start + params.duration;
+    let mut op_latency = LatencyHistogram::new();
+    let mut commit_latency = LatencyHistogram::new();
+    let mut last_cut_check = Instant::now();
+    while Instant::now() < deadline {
+        // Fill the window.
+        while (state.session.inflight_ops() as usize) < params.window {
+            let ops = state.next_batch(params.batch);
+            let now = Instant::now();
+            match state.session.issue(ops) {
+                Ok(serials) => {
+                    for s in serials {
+                        state.issue_times.insert(s, now);
+                        if params.measure_commit {
+                            state.commit_queue.push_back((s, now));
+                        }
+                    }
+                }
+                Err(_) => break,
+            }
+            if state.session.inflight_ops() == 0 {
+                // Fully co-located batch: completed synchronously.
+                break;
+            }
+        }
+        // Drain replies.
+        let _ = state.session.poll(true, Duration::from_millis(10));
+        let now = Instant::now();
+        for (serial, _) in state.session.take_results() {
+            if let Some(t) = state.issue_times.remove(&serial) {
+                op_latency.record(now - t);
+            }
+        }
+        // Track commits.
+        if params.measure_commit && last_cut_check.elapsed() > Duration::from_millis(2) {
+            last_cut_check = Instant::now();
+            let cut = cut_source();
+            let prefix = state.session.refresh_commit(&cut);
+            let now = Instant::now();
+            while let Some(&(serial, t)) = state.commit_queue.front() {
+                if serial < prefix {
+                    commit_latency.record(now - t);
+                    state.commit_queue.pop_front();
+                } else {
+                    break;
+                }
+            }
+        }
+    }
+    // Final committed accounting.
+    let cut = cut_source();
+    state.session.refresh_commit(&cut);
+    let stats = state.session.stats();
+    RunStats {
+        completed: stats.completed,
+        committed: stats.committed,
+        aborted: stats.aborted,
+        duration: params.duration,
+        op_latency,
+        commit_latency,
+    }
+}
+
+fn merge(results: Vec<RunStats>, elapsed: Duration) -> RunStats {
+    let mut out = RunStats {
+        completed: 0,
+        committed: 0,
+        aborted: 0,
+        duration: elapsed,
+        op_latency: LatencyHistogram::new(),
+        commit_latency: LatencyHistogram::new(),
+    };
+    for r in results {
+        out.completed += r.completed;
+        out.committed += r.committed;
+        out.aborted += r.aborted;
+        out.op_latency.merge(&r.op_latency);
+        out.commit_latency.merge(&r.commit_latency);
+    }
+    out
+}
+
+/// The Fig. 16 experiment: run for `total`, injecting failures at the given
+/// offsets, and return 250 ms-bucketed series of completed, committed and
+/// aborted operations.
+pub fn run_with_failures(
+    cluster: &Cluster,
+    params: &BenchParams,
+    failures_at: &[Duration],
+    total: Duration,
+) -> (ThroughputSeries, ThroughputSeries, ThroughputSeries) {
+    let bucket = Duration::from_millis(250);
+    let start = Instant::now();
+    let cut_source = cluster.cut_source();
+
+    std::thread::scope(|scope| {
+        // Failure injector.
+        let injector = {
+            let failures: Vec<Duration> = failures_at.to_vec();
+            scope.spawn(move || {
+                for at in failures {
+                    let now = start.elapsed();
+                    if at > now {
+                        std::thread::sleep(at - now);
+                    }
+                    let _ = cluster.inject_failure();
+                }
+            })
+        };
+        let mut clients = Vec::new();
+        for c in 0..params.clients {
+            let mut session = cluster.open_session().expect("session");
+            let mut gen = WorkloadGen::new(params.spec.clone(), c as u64 + 1);
+            let params = params.clone();
+            let cut_source = &cut_source;
+            clients.push(scope.spawn(move || {
+                let mut completed = ThroughputSeries::new(bucket);
+                let mut committed = ThroughputSeries::new(bucket);
+                let mut aborted = ThroughputSeries::new(bucket);
+                let mut last_committed = 0u64;
+                let mut last_aborted = 0u64;
+                let deadline = start + total;
+                while Instant::now() < deadline {
+                    while (session.inflight_ops() as usize) < params.window {
+                        let ops: Vec<ClusterOp> = (0..params.batch)
+                            .map(|_| op_to_cluster(gen.next_op()))
+                            .collect();
+                        if session.issue(ops).is_err() {
+                            break;
+                        }
+                    }
+                    let at = start.elapsed();
+                    match session.poll(true, Duration::from_millis(5)) {
+                        Ok(n) => completed.record_at(at, n),
+                        Err(_) => {
+                            // Failure observed: recover the session and keep
+                            // going on the new world-line.
+                            if session.recover(Duration::from_secs(10)).is_ok() {
+                                let stats = session.stats();
+                                let newly_aborted = stats.aborted - last_aborted;
+                                last_aborted = stats.aborted;
+                                aborted.record_at(start.elapsed(), newly_aborted);
+                            }
+                        }
+                    }
+                    session.take_results().clear();
+                    let cut = cut_source();
+                    session.refresh_commit(&cut);
+                    let stats = session.stats();
+                    if stats.committed > last_committed {
+                        committed.record_at(start.elapsed(), stats.committed - last_committed);
+                        last_committed = stats.committed;
+                    }
+                }
+                (completed, committed, aborted)
+            }));
+        }
+        let mut completed = ThroughputSeries::new(bucket);
+        let mut committed = ThroughputSeries::new(bucket);
+        let mut aborted = ThroughputSeries::new(bucket);
+        for c in clients {
+            let (cp, cm, ab) = c.join().expect("client");
+            completed.merge(&cp);
+            committed.merge(&cm);
+            aborted.merge(&ab);
+        }
+        injector.join().expect("injector");
+        (completed, committed, aborted)
+    })
+}
+
+/// Pre-load the keyspace so reads hit existing records.
+pub fn preload(cluster: &Cluster, keys: u64) {
+    let mut session = cluster.open_session().expect("loader session");
+    let mut batch = Vec::with_capacity(256);
+    for k in 0..keys {
+        batch.push(ClusterOp::Upsert(Key::from_u64(k), Value::from_u64(k)));
+        if batch.len() == 256 {
+            session
+                .execute(std::mem::take(&mut batch))
+                .expect("preload");
+        }
+    }
+    if !batch.is_empty() {
+        session.execute(batch).expect("preload");
+    }
+}

@@ -1,0 +1,40 @@
+//! # dpr-bench
+//!
+//! The benchmark harness that regenerates every figure of the paper's
+//! evaluation (§7). Each `fig*` binary prints the rows/series of the
+//! corresponding figure; `all_figures` runs the whole suite.
+//!
+//! Absolute numbers are laptop-scale (the paper used 8×16-vCPU VMs); what
+//! the harness preserves is the *shape* of each result — who wins, by what
+//! factor, and where crossovers fall. See EXPERIMENTS.md for the
+//! paper-vs-measured comparison.
+
+#![warn(missing_docs)]
+
+pub mod harness;
+pub mod util;
+
+pub use harness::{run_with_failures, run_workload, BenchParams, RunStats};
+
+use std::time::Duration;
+
+/// Benchmark duration scaling: `DPR_BENCH_SECS` overrides the per-point
+/// measurement window (default 2 s).
+#[must_use]
+pub fn point_duration() -> Duration {
+    std::env::var("DPR_BENCH_SECS")
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .map_or(Duration::from_secs(2), Duration::from_secs_f64)
+}
+
+/// Keyspace scaling: `DPR_BENCH_KEYS` overrides the number of distinct keys
+/// (default 100k; the paper uses 250M on a 128-vCPU cluster).
+#[must_use]
+pub fn keyspace() -> u64 {
+    std::env::var("DPR_BENCH_KEYS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(100_000)
+        .max(1)
+}

@@ -1,0 +1,403 @@
+//! Client-side session handle: routing, batching, windowing, commit
+//! tracking, and failure recovery.
+//!
+//! A [`SessionHandle`] owns one [`DprClientSession`] and knows how to reach
+//! every worker: remote shards through the bus, and — in co-located mode —
+//! the local worker by direct call, which is the "local execution" fast
+//! path of §5.2 (no network, completes on the calling thread).
+
+use crate::message::{ClusterOp, Message, OpResult, RequestMsg};
+use crate::transport::{EndpointId, SimNetwork};
+use crate::worker::Worker;
+use crossbeam::channel::Receiver;
+use dpr_core::{DprError, Result, SessionId, ShardId, Version, WorldLine};
+use dpr_metadata::{Cut, MetadataStore, OwnershipTable};
+use libdpr::{BatchHeader, DprClientSession, SessionStatus};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Cumulative per-session counters (the series of Fig. 16).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Ops whose replies have arrived (completed, possibly uncommitted).
+    pub completed: u64,
+    /// Ops known durably committed via the DPR cut.
+    pub committed: u64,
+    /// Ops aborted by failures.
+    pub aborted: u64,
+}
+
+struct InflightBatch {
+    shard: ShardId,
+    header: BatchHeader,
+    ops: Vec<ClusterOp>,
+}
+
+/// A client session on a DPR cluster.
+pub struct SessionHandle {
+    dpr: DprClientSession,
+    net: Arc<SimNetwork>,
+    endpoint: EndpointId,
+    inbox: Receiver<Message>,
+    ownership: Arc<OwnershipTable>,
+    meta: Arc<dyn MetadataStore>,
+    workers: Arc<parking_lot::RwLock<HashMap<ShardId, EndpointId>>>,
+    /// Co-located worker, if any: batches for its shard bypass the network.
+    local: Option<Arc<Worker>>,
+    inflight: HashMap<u64, InflightBatch>,
+    inflight_ops: u64,
+    completed_ops: u64,
+    /// Results from the most recent synchronous execute.
+    last_results: Vec<(u64, OpResult)>,
+}
+
+impl SessionHandle {
+    /// Internal constructor — use `Cluster::open_session`.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        id: SessionId,
+        world_line: WorldLine,
+        net: Arc<SimNetwork>,
+        ownership: Arc<OwnershipTable>,
+        meta: Arc<dyn MetadataStore>,
+        workers: Arc<parking_lot::RwLock<HashMap<ShardId, EndpointId>>>,
+        local: Option<Arc<Worker>>,
+    ) -> Self {
+        let (endpoint, inbox) = net.register();
+        SessionHandle {
+            dpr: DprClientSession::on_world_line(id, world_line),
+            net,
+            endpoint,
+            inbox,
+            ownership,
+            meta,
+            workers,
+            local,
+            inflight: HashMap::new(),
+            inflight_ops: 0,
+            completed_ops: 0,
+            last_results: Vec::new(),
+        }
+    }
+
+    /// Session id.
+    #[must_use]
+    pub fn id(&self) -> SessionId {
+        self.dpr.id()
+    }
+
+    /// Current counters.
+    #[must_use]
+    pub fn stats(&self) -> SessionStats {
+        SessionStats {
+            completed: self.completed_ops,
+            committed: self.dpr.committed_count(),
+            aborted: self.dpr.aborted(),
+        }
+    }
+
+    /// Ops issued but with no reply yet.
+    #[must_use]
+    pub fn inflight_ops(&self) -> u64 {
+        self.inflight_ops
+    }
+
+    /// Issue a batch of operations without waiting for completion. Ops are
+    /// grouped by owning shard; groups for a co-located shard execute
+    /// immediately on this thread, remote groups go over the bus.
+    ///
+    /// Returns the serial number assigned to each input op (grouping means
+    /// serials are not in input order).
+    pub fn issue(&mut self, ops: Vec<ClusterOp>) -> Result<Vec<u64>> {
+        // Group ops by owner, preserving intra-shard order and remembering
+        // where each op came from.
+        let mut serials = vec![0u64; ops.len()];
+        let mut groups: HashMap<ShardId, (Vec<ClusterOp>, Vec<usize>)> = HashMap::new();
+        for (idx, op) in ops.into_iter().enumerate() {
+            let shard = self.resolve_owner(op.key())?;
+            let entry = groups.entry(shard).or_default();
+            entry.0.push(op);
+            entry.1.push(idx);
+        }
+        for (shard, (group, indices)) in groups {
+            let header = self.dpr.begin_batch(shard, group.len() as u32)?;
+            for (pos, idx) in indices.into_iter().enumerate() {
+                serials[idx] = header.first_serial + pos as u64;
+            }
+            self.dispatch(shard, header, group)?;
+        }
+        Ok(serials)
+    }
+
+    fn dispatch(&mut self, shard: ShardId, header: BatchHeader, ops: Vec<ClusterOp>) -> Result<()> {
+        if let Some(local) = self.local.clone() {
+            if local.shard() == shard {
+                // Co-located fast path: execute synchronously in-thread.
+                match local.execute_local(&header, &ops) {
+                    Ok((reply, results)) => {
+                        self.dpr.process_reply(&reply)?;
+                        self.completed_ops += u64::from(reply.op_count);
+                        for (i, r) in results.into_iter().enumerate() {
+                            self.last_results.push((header.first_serial + i as u64, r));
+                        }
+                        return Ok(());
+                    }
+                    Err(DprError::WorldLineMismatch { current, .. }) => {
+                        // Surface failure exactly like a remote rejection.
+                        let _ = self.dpr.process_reply(&libdpr::BatchReply {
+                            shard,
+                            world_line: current,
+                            version: Version::ZERO,
+                            first_serial: header.first_serial,
+                            op_count: header.op_count,
+                        });
+                        return Err(DprError::WorldLineMismatch {
+                            requested: header.world_line,
+                            current,
+                        });
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+        }
+        let endpoint = *self
+            .workers
+            .read()
+            .get(&shard)
+            .ok_or_else(|| DprError::Invalid(format!("no worker for {shard}")))?;
+        self.inflight_ops += u64::from(header.op_count);
+        self.inflight.insert(
+            header.first_serial,
+            InflightBatch {
+                shard,
+                header: header.clone(),
+                ops: ops.clone(),
+            },
+        );
+        self.net.send(
+            endpoint,
+            Message::Request(RequestMsg {
+                reply_to: self.endpoint,
+                header,
+                ops,
+            }),
+        )
+    }
+
+    /// Drain available replies. With `block`, waits up to `timeout` for at
+    /// least one reply if any ops are in flight. Returns the number of ops
+    /// completed by this call.
+    ///
+    /// On a world-line mismatch (failure detected), returns
+    /// [`DprError::WorldLineMismatch`]; call [`SessionHandle::recover`].
+    pub fn poll(&mut self, block: bool, timeout: Duration) -> Result<u64> {
+        let mut completed = 0u64;
+        let mut failure: Option<DprError> = None;
+        let deadline = Instant::now() + timeout;
+        loop {
+            let msg = if block && completed == 0 && self.inflight_ops > 0 && failure.is_none() {
+                match self.inbox.recv_deadline(deadline) {
+                    Ok(m) => m,
+                    Err(_) => break,
+                }
+            } else {
+                match self.inbox.try_recv() {
+                    Ok(m) => m,
+                    Err(_) => break,
+                }
+            };
+            let Message::Response(resp) = msg else {
+                continue;
+            };
+            match resp.outcome {
+                Ok((reply, results)) => {
+                    self.inflight.remove(&resp.first_serial);
+                    self.inflight_ops -= u64::from(resp.op_count);
+                    match self.dpr.process_reply(&reply) {
+                        Ok(()) => {
+                            completed += u64::from(resp.op_count);
+                            self.completed_ops += u64::from(resp.op_count);
+                            for (i, r) in results.into_iter().enumerate() {
+                                self.last_results.push((resp.first_serial + i as u64, r));
+                            }
+                        }
+                        Err(e @ DprError::WorldLineMismatch { .. }) => failure = Some(e),
+                        Err(_) => {}
+                    }
+                }
+                Err(DprError::WorldLineMismatch { current, .. }) => {
+                    // Rejected batch: the cluster moved world-lines.
+                    self.inflight.remove(&resp.first_serial);
+                    self.inflight_ops -= u64::from(resp.op_count);
+                    let _ = self.dpr.process_reply(&libdpr::BatchReply {
+                        shard: ShardId(u32::MAX),
+                        world_line: current,
+                        version: Version::ZERO,
+                        first_serial: resp.first_serial,
+                        op_count: resp.op_count,
+                    });
+                    failure = Some(DprError::WorldLineMismatch {
+                        requested: self.dpr.world_line(),
+                        current,
+                    });
+                }
+                Err(DprError::Recovering) => {
+                    // Shard mid-recovery: resend the batch unchanged.
+                    if let Some(batch) = self.inflight.get(&resp.first_serial) {
+                        let endpoint = self.workers.read()[&batch.shard];
+                        let _ = self.net.send(
+                            endpoint,
+                            Message::Request(RequestMsg {
+                                reply_to: self.endpoint,
+                                header: batch.header.clone(),
+                                ops: batch.ops.clone(),
+                            }),
+                        );
+                    }
+                }
+                Err(DprError::NotOwner { .. }) => {
+                    // Ownership moved (§5.3): re-resolve each op's owner and
+                    // re-route as single-op batches with their original
+                    // serials. Retries with backoff while the partition is
+                    // mid-transfer (temporarily un-owned).
+                    if let Some(batch) = self.inflight.remove(&resp.first_serial) {
+                        self.inflight_ops -= u64::from(resp.op_count);
+                        self.reroute(batch)?;
+                    }
+                }
+                Err(_) => {
+                    // Other rejections: drop the batch; the serial hole
+                    // resolves at the next failure handling or is retried by
+                    // the application.
+                    self.inflight.remove(&resp.first_serial);
+                    self.inflight_ops -= u64::from(resp.op_count);
+                }
+            }
+        }
+        match failure {
+            Some(e) => Err(e),
+            None => Ok(completed),
+        }
+    }
+
+    /// Resolve the owner of `key`, retrying while its partition is
+    /// mid-transfer (temporarily un-owned, §5.3: "the client retries until
+    /// the transfer is complete").
+    fn resolve_owner(&self, key: &dpr_core::Key) -> Result<ShardId> {
+        for _ in 0..2000 {
+            match self.ownership.owner_of(key) {
+                Ok(s) => return Ok(s),
+                Err(_) => std::thread::sleep(Duration::from_micros(500)),
+            }
+        }
+        Err(DprError::Invalid(format!(
+            "partition for {key} stuck un-owned"
+        )))
+    }
+
+    /// Re-route a rejected batch op-by-op after an ownership change.
+    fn reroute(&mut self, batch: InflightBatch) -> Result<()> {
+        for (i, op) in batch.ops.into_iter().enumerate() {
+            let serial = batch.header.first_serial + i as u64;
+            let shard = self.resolve_owner(op.key())?;
+            let header = self.dpr.rebatch_header(shard, serial, 1);
+            self.dispatch(shard, header, vec![op])?;
+        }
+        Ok(())
+    }
+
+    /// Take the results accumulated by completed ops (serial, result),
+    /// sorted by serial.
+    pub fn take_results(&mut self) -> Vec<(u64, OpResult)> {
+        let mut out = std::mem::take(&mut self.last_results);
+        out.sort_by_key(|(s, _)| *s);
+        out
+    }
+
+    /// Execute ops synchronously, returning results in op order.
+    pub fn execute(&mut self, ops: Vec<ClusterOp>) -> Result<Vec<OpResult>> {
+        let n = ops.len();
+        self.take_results();
+        let serials = self.issue(ops)?;
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while self.inflight_ops > 0 {
+            self.poll(true, Duration::from_millis(100))?;
+            if Instant::now() > deadline {
+                return Err(DprError::Timeout);
+            }
+        }
+        let by_serial: HashMap<u64, OpResult> = self.take_results().into_iter().collect();
+        let mut out = Vec::with_capacity(n);
+        for s in serials {
+            match by_serial.get(&s) {
+                Some(r) => out.push(r.clone()),
+                None => return Err(DprError::Invalid(format!("missing result for serial {s}"))),
+            }
+        }
+        Ok(out)
+    }
+
+    /// Refresh the committed prefix against the given DPR cut, returning the
+    /// resolved watermark.
+    pub fn refresh_commit(&mut self, cut: &Cut) -> u64 {
+        self.dpr.refresh_commit(cut)
+    }
+
+    /// Wait until every issued op is committed per the cut source `read`.
+    pub fn wait_all_committed(
+        &mut self,
+        read_cut: impl Fn() -> Cut,
+        timeout: Duration,
+    ) -> Result<()> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let _ = self.poll(false, Duration::ZERO);
+            let cut = read_cut();
+            if self.dpr.refresh_commit(&cut) >= self.dpr.issued() {
+                return Ok(());
+            }
+            if Instant::now() > deadline {
+                return Err(DprError::Timeout);
+            }
+            std::thread::sleep(Duration::from_micros(200));
+        }
+    }
+
+    /// Recover from a failure: wait for cluster recovery to finish, adopt
+    /// the new world-line, and compute the surviving prefix. Returns the
+    /// number of this session's ops that survived.
+    pub fn recover(&mut self, timeout: Duration) -> Result<u64> {
+        let deadline = Instant::now() + timeout;
+        // Wait until the cluster manager reports recovery complete.
+        loop {
+            match self.meta.recovery_in_progress()? {
+                None => break,
+                Some(_) => {
+                    if Instant::now() > deadline {
+                        return Err(DprError::Timeout);
+                    }
+                    std::thread::sleep(Duration::from_micros(500));
+                }
+            }
+        }
+        let world_line = self.meta.world_line()?;
+        let cut = self.meta.read_cut()?;
+        // Drain stale replies.
+        while self.inbox.try_recv().is_ok() {}
+        self.inflight.clear();
+        self.inflight_ops = 0;
+        let survived = match self.dpr.status() {
+            SessionStatus::NeedsRecovery { .. } | SessionStatus::Active => {
+                self.dpr.handle_failure(world_line, &cut)
+            }
+        };
+        Ok(survived)
+    }
+
+    /// The session's current world-line.
+    #[must_use]
+    pub fn world_line(&self) -> WorldLine {
+        self.dpr.world_line()
+    }
+}

@@ -1,0 +1,499 @@
+//! Cluster assembly: wire up workers, metadata, finder, ownership and the
+//! bus into a running D-FASTER or D-Redis deployment.
+
+use crate::client::SessionHandle;
+use crate::dfaster::FasterShard;
+use crate::dredis::RedisShard;
+use crate::manager::ClusterManager;
+use crate::transport::{EndpointId, SimNetwork};
+use crate::worker::{ShardStore, Worker, WorkerConfig};
+use dpr_core::{
+    Clock, DprFinderMode, RecoverabilityLevel, Result, SessionId, ShardId, SystemClock,
+};
+use dpr_metadata::{Cut, MetadataStore, OwnershipTable, Partitioner, SimulatedSqlStore};
+use dpr_redis::{AofPolicy, RedisConfig, RedisStore};
+use dpr_storage::{MemBlobStore, MemLogDevice, StorageProfile};
+use libdpr::{ApproximateFinder, DprFinder, ExactFinder, HybridFinder};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Weak};
+use std::time::Duration;
+
+/// Which cache-store backs the shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClusterKind {
+    /// D-FASTER (§5): deep integration, non-blocking restore.
+    DFaster,
+    /// D-Redis (§6): unmodified Redis-like store behind the libDPR wrapper.
+    DRedis,
+}
+
+/// Full deployment configuration — the experiment axes of §7.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Store kind.
+    pub kind: ClusterKind,
+    /// Number of shard workers (the paper's #VMs).
+    pub shards: usize,
+    /// Virtual partitions for ownership mapping (§5.3).
+    pub partitions: u32,
+    /// Checkpoint period (`None` = no checkpoints).
+    pub checkpoint_interval: Option<Duration>,
+    /// Storage backend profile (null / local SSD / cloud SSD).
+    pub storage: StorageProfile,
+    /// Cut-finding algorithm.
+    pub finder_mode: DprFinderMode,
+    /// One-way network latency on the bus.
+    pub network_latency: Duration,
+    /// Per-statement metadata-store latency (the Azure SQL round trip).
+    pub metadata_latency: Duration,
+    /// Recoverability level (§7.6).
+    pub recoverability: RecoverabilityLevel,
+    /// Executor threads per worker.
+    pub executors_per_worker: usize,
+    /// FASTER memory budget (records) per shard.
+    pub memory_budget_records: usize,
+    /// FASTER index buckets per shard.
+    pub index_buckets: usize,
+    /// How often the finder service recomputes the cut.
+    pub finder_interval: Duration,
+    /// Per-op ownership validation.
+    pub validate_ownership: bool,
+    /// Insert a pass-through proxy hop in front of every worker (the
+    /// Fig. 17/18 "Redis + Proxy" configuration).
+    pub extra_proxy_hop: bool,
+    /// Bound on each FASTER shard's unflushed (volatile) log region, in
+    /// records. Applied only when checkpoints are enabled; makes device
+    /// speed throughput-relevant via append backpressure (§7.2's
+    /// "thrashing" regime). `None` = unbounded.
+    pub unflushed_limit_records: Option<u64>,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            kind: ClusterKind::DFaster,
+            shards: 4,
+            partitions: 64,
+            checkpoint_interval: Some(Duration::from_millis(100)),
+            storage: StorageProfile::Null,
+            finder_mode: DprFinderMode::Approximate,
+            network_latency: Duration::ZERO,
+            metadata_latency: Duration::ZERO,
+            recoverability: RecoverabilityLevel::Dpr,
+            executors_per_worker: 2,
+            memory_budget_records: 1 << 22,
+            index_buckets: 1 << 16,
+            finder_interval: Duration::from_millis(5),
+            validate_ownership: true,
+            extra_proxy_hop: false,
+            unflushed_limit_records: Some(1 << 18),
+        }
+    }
+}
+
+/// A running cluster.
+pub struct Cluster {
+    config: ClusterConfig,
+    net: Arc<SimNetwork>,
+    meta: Arc<dyn MetadataStore>,
+    ownership: Arc<OwnershipTable>,
+    finder: Arc<dyn DprFinder>,
+    workers: Vec<Arc<Worker>>,
+    worker_endpoints: Arc<RwLock<HashMap<ShardId, EndpointId>>>,
+    manager: ClusterManager,
+    cut_cache: Arc<RwLock<Cut>>,
+    next_session: AtomicU64,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl Cluster {
+    /// Start a cluster per `config`.
+    pub fn start(config: ClusterConfig) -> Result<Cluster> {
+        let net = SimNetwork::new(config.network_latency);
+        let meta: Arc<dyn MetadataStore> =
+            Arc::new(SimulatedSqlStore::with_latency(config.metadata_latency));
+        let clock: Arc<dyn Clock> = Arc::new(SystemClock::new());
+        let ownership = Arc::new(OwnershipTable::new(
+            Partitioner::Hash {
+                partitions: config.partitions,
+            },
+            clock,
+            Duration::from_secs(10),
+        ));
+        let finder: Arc<dyn DprFinder> = match config.finder_mode {
+            DprFinderMode::Exact => Arc::new(ExactFinder::new(meta.clone())),
+            DprFinderMode::Approximate => Arc::new(ApproximateFinder::new(meta.clone())),
+            DprFinderMode::Hybrid => Arc::new(HybridFinder::new(meta.clone())),
+        };
+
+        let worker_config = WorkerConfig {
+            checkpoint_interval: match config.recoverability {
+                RecoverabilityLevel::None | RecoverabilityLevel::Synchronous => None,
+                _ => config.checkpoint_interval,
+            },
+            dpr_enabled: config.recoverability == RecoverabilityLevel::Dpr,
+            sync_commit: config.recoverability == RecoverabilityLevel::Synchronous
+                && config.kind == ClusterKind::DFaster,
+            executors: match config.kind {
+                ClusterKind::DFaster => config.executors_per_worker,
+                // The store is single-threaded anyway.
+                ClusterKind::DRedis => 1,
+            },
+            validate_ownership: config.validate_ownership,
+            fast_forward: true,
+        };
+
+        let mut workers = Vec::with_capacity(config.shards);
+        let mut endpoints = HashMap::new();
+        for i in 0..config.shards {
+            let shard = ShardId(i as u32);
+            let store = build_store(&config, shard)?;
+            let worker = Worker::start(
+                shard,
+                store,
+                net.clone(),
+                ownership.clone(),
+                meta.clone(),
+                finder.clone(),
+                worker_config.clone(),
+            )?;
+            let public_endpoint = if config.extra_proxy_hop {
+                crate::proxy::start_proxy(&net, worker.endpoint())
+            } else {
+                worker.endpoint()
+            };
+            endpoints.insert(shard, public_endpoint);
+            workers.push(worker);
+        }
+        let shard_ids: Vec<ShardId> = workers.iter().map(|w| w.shard()).collect();
+        ownership.assign_round_robin(&shard_ids);
+
+        let cut_cache = Arc::new(RwLock::new(Cut::new()));
+        let shutdown = Arc::new(AtomicBool::new(false));
+        if config.recoverability == RecoverabilityLevel::Dpr {
+            let finder_weak: Weak<dyn DprFinder> = Arc::downgrade(&finder);
+            let cache = cut_cache.clone();
+            let stop = shutdown.clone();
+            let interval = config.finder_interval;
+            std::thread::Builder::new()
+                .name("dpr-finder".into())
+                .spawn(move || loop {
+                    if stop.load(Ordering::Acquire) {
+                        return;
+                    }
+                    let Some(finder) = finder_weak.upgrade() else {
+                        return;
+                    };
+                    let _ = finder.refresh();
+                    if let Ok(cut) = finder.current_cut() {
+                        *cache.write() = cut;
+                    }
+                    drop(finder);
+                    std::thread::sleep(interval);
+                })
+                .expect("spawn finder service");
+        }
+
+        Ok(Cluster {
+            manager: ClusterManager::new(meta.clone()),
+            config,
+            net,
+            meta,
+            ownership,
+            finder,
+            workers,
+            worker_endpoints: Arc::new(RwLock::new(endpoints)),
+            cut_cache,
+            next_session: AtomicU64::new(1),
+            shutdown,
+        })
+    }
+
+    /// Open a client session (dedicated-client mode).
+    pub fn open_session(&self) -> Result<SessionHandle> {
+        self.open_session_inner(None)
+    }
+
+    /// Open a session co-located with worker `idx`: batches for that shard
+    /// execute directly on the calling thread (§5.2).
+    pub fn open_session_colocated(&self, idx: usize) -> Result<SessionHandle> {
+        self.open_session_inner(Some(self.workers[idx].clone()))
+    }
+
+    fn open_session_inner(&self, local: Option<Arc<Worker>>) -> Result<SessionHandle> {
+        let id = SessionId(self.next_session.fetch_add(1, Ordering::AcqRel));
+        Ok(SessionHandle::new(
+            id,
+            self.meta.world_line()?,
+            self.net.clone(),
+            self.ownership.clone(),
+            self.meta.clone(),
+            self.worker_endpoints.clone(),
+            local,
+        ))
+    }
+
+    /// The latest cut published by the finder service.
+    #[must_use]
+    pub fn current_cut(&self) -> Cut {
+        self.cut_cache.read().clone()
+    }
+
+    /// A cheap cut reader for [`SessionHandle::wait_all_committed`].
+    pub fn cut_source(&self) -> impl Fn() -> Cut + Send + 'static {
+        let cache = self.cut_cache.clone();
+        move || cache.read().clone()
+    }
+
+    /// Inject a failure (Fig. 16's methodology) and return once recovery is
+    /// underway; workers roll back asynchronously.
+    pub fn inject_failure(&self) -> Result<()> {
+        self.manager.trigger_failure()?;
+        Ok(())
+    }
+
+    /// Wait for any in-flight recovery to complete.
+    pub fn wait_recovered(&self, timeout: Duration) -> Result<()> {
+        self.manager.wait_recovery_complete(timeout)
+    }
+
+    /// The workers (tests/benchmarks).
+    #[must_use]
+    pub fn workers(&self) -> &[Arc<Worker>] {
+        &self.workers
+    }
+
+    /// The shard owning `key` (benchmark key-pool construction).
+    pub fn owner_of(&self, key: &dpr_core::Key) -> Result<ShardId> {
+        self.ownership.owner_of(key)
+    }
+
+    /// Sum of ops executed across workers.
+    #[must_use]
+    pub fn total_executed(&self) -> u64 {
+        self.workers.iter().map(|w| w.executed_ops()).sum()
+    }
+
+    /// The deployment configuration.
+    #[must_use]
+    pub fn config(&self) -> &ClusterConfig {
+        &self.config
+    }
+
+    /// The shared metadata store (tests).
+    #[must_use]
+    pub fn metadata(&self) -> &Arc<dyn MetadataStore> {
+        &self.meta
+    }
+
+    /// The finder (tests/ablations).
+    #[must_use]
+    pub fn finder(&self) -> &Arc<dyn DprFinder> {
+        &self.finder
+    }
+
+    /// Migrate one virtual partition from the worker at `from_idx` to the
+    /// worker at `to_idx` (§5.3). Ownership transfer is deferred to a
+    /// checkpoint boundary: the old owner renounces, seals its current
+    /// version, the data is copied and made durable at the new owner, and
+    /// only then is the partition claimed. Clients retry while the
+    /// partition is un-owned. Returns the number of keys moved.
+    ///
+    /// Failure *during* a migration is out of scope (the paper defers the
+    /// full transfer protocol to Shadowfax).
+    pub fn migrate_partition(
+        &self,
+        vp: dpr_metadata::VirtualPartition,
+        from_idx: usize,
+        to_idx: usize,
+    ) -> Result<usize> {
+        let from = &self.workers[from_idx];
+        let to = &self.workers[to_idx];
+        // 1. Renounce: the partition is now un-owned; in-flight writes to it
+        //    at the old owner start failing validation.
+        self.ownership.renounce(vp, from.shard())?;
+        // 2. Seal the last version that contained the partition at the old
+        //    owner, so ownership is static within versions.
+        wait_local_durable(from.store().as_ref(), Duration::from_secs(10))?;
+        // 3. Copy the partition's live data.
+        let partitioner = self.ownership.partitioner().clone();
+        let moved: Vec<crate::message::ClusterOp> = from
+            .store()
+            .scan_live()?
+            .into_iter()
+            .filter(|(k, _)| partitioner.partition_of(k) == vp)
+            .map(|(k, v)| crate::message::ClusterOp::Upsert(k, v))
+            .collect();
+        let count = moved.len();
+        if !moved.is_empty() {
+            // Direct store write (bypasses ownership validation) under a
+            // reserved migration session id.
+            let migration_session = SessionId(u64::MAX - u64::from(to.shard().0));
+            to.store().execute_batch(migration_session, &moved)?;
+        }
+        // 4. Make the migrated data durable at the new owner before serving.
+        wait_local_durable(to.store().as_ref(), Duration::from_secs(10))?;
+        // 5. Claim: clients' retries now resolve to the new owner.
+        self.ownership.claim(vp, to.shard())?;
+        Ok(count)
+    }
+
+    /// Add a worker to the running cluster and rebalance a share of the
+    /// virtual partitions onto it ("adding a worker is equivalent to adding
+    /// a row in the DPR table", §5.3). Returns the new shard id.
+    pub fn add_worker(&mut self) -> Result<ShardId> {
+        let new_idx = self.workers.len();
+        let shard = ShardId(new_idx as u32);
+        let store = build_store(&self.config, shard)?;
+        let worker_config = crate::worker::WorkerConfig {
+            checkpoint_interval: match self.config.recoverability {
+                RecoverabilityLevel::None | RecoverabilityLevel::Synchronous => None,
+                _ => self.config.checkpoint_interval,
+            },
+            dpr_enabled: self.config.recoverability == RecoverabilityLevel::Dpr,
+            sync_commit: self.config.recoverability == RecoverabilityLevel::Synchronous
+                && self.config.kind == ClusterKind::DFaster,
+            executors: match self.config.kind {
+                ClusterKind::DFaster => self.config.executors_per_worker,
+                ClusterKind::DRedis => 1,
+            },
+            validate_ownership: self.config.validate_ownership,
+            fast_forward: true,
+        };
+        let worker = Worker::start(
+            shard,
+            store,
+            self.net.clone(),
+            self.ownership.clone(),
+            self.meta.clone(),
+            self.finder.clone(),
+            worker_config,
+        )?;
+        let public = if self.config.extra_proxy_hop {
+            crate::proxy::start_proxy(&self.net, worker.endpoint())
+        } else {
+            worker.endpoint()
+        };
+        self.worker_endpoints.write().insert(shard, public);
+        self.workers.push(worker);
+        // Rebalance: every partition that hashes to the new worker under
+        // round-robin over the new count moves to it.
+        let partitions = self.config.partitions;
+        let n = self.workers.len();
+        for p in 0..partitions {
+            if (p as usize) % n == new_idx {
+                let vp = dpr_metadata::VirtualPartition(p);
+                let owner = self.ownership.owner_of_partition(vp)?;
+                let from_idx = self
+                    .workers
+                    .iter()
+                    .position(|w| w.shard() == owner)
+                    .ok_or_else(|| dpr_core::DprError::Invalid("unknown owner".into()))?;
+                self.migrate_partition(vp, from_idx, new_idx)?;
+            }
+        }
+        Ok(shard)
+    }
+
+    /// Remove the worker at `idx` from the cluster: migrate all its
+    /// partitions to the remaining workers, then drop its DPR-table row
+    /// ("non-empty workers first migrate all keys before leaving", §5.3).
+    pub fn remove_worker(&mut self, idx: usize) -> Result<()> {
+        let shard = self.workers[idx].shard();
+        let targets: Vec<usize> = (0..self.workers.len()).filter(|&i| i != idx).collect();
+        if targets.is_empty() {
+            return Err(dpr_core::DprError::Invalid(
+                "cannot remove the last worker".into(),
+            ));
+        }
+        let owned = self.ownership.partitions_of(shard);
+        for (i, vp) in owned.into_iter().enumerate() {
+            self.migrate_partition(vp, idx, targets[i % targets.len()])?;
+        }
+        self.meta.remove_worker(shard)?;
+        self.worker_endpoints.write().remove(&shard);
+        let worker = self.workers.remove(idx);
+        worker.stop();
+        Ok(())
+    }
+
+    /// Stop all background threads.
+    pub fn shutdown(&self) {
+        self.shutdown.store(true, Ordering::Release);
+        for w in &self.workers {
+            w.stop();
+        }
+        self.net.shutdown();
+    }
+}
+
+impl Drop for Cluster {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Wait for everything currently executed on `store` to become locally
+/// durable (repeatedly requesting commits until the version catches up).
+fn wait_local_durable(store: &dyn ShardStore, timeout: Duration) -> Result<()> {
+    use std::time::Instant;
+    let target = store.current_version();
+    let deadline = Instant::now() + timeout;
+    while store.durable_version() < target {
+        store.request_commit(None);
+        if Instant::now() > deadline {
+            return Err(dpr_core::DprError::Timeout);
+        }
+        std::thread::sleep(Duration::from_micros(200));
+    }
+    Ok(())
+}
+
+/// Build one shard's cache-store per the cluster configuration.
+fn build_store(config: &ClusterConfig, shard: ShardId) -> Result<Arc<dyn ShardStore>> {
+    Ok(match config.kind {
+        ClusterKind::DFaster => {
+            let device = Arc::new(MemLogDevice::with_profile(config.storage));
+            let blobs = Arc::new(MemBlobStore::with_latency(config.storage.latency()));
+            let kv = dpr_faster::FasterKv::new(
+                dpr_faster::FasterConfig {
+                    index_buckets: config.index_buckets,
+                    memory_budget_records: config.memory_budget_records,
+                    auto_maintenance: true,
+                    // Without checkpoints the log is "entirely mutable and we
+                    // do not invoke the checkpointing code path" (§7.2) — no
+                    // flushing, no backpressure.
+                    unflushed_limit_records: if config.checkpoint_interval.is_some()
+                        && config.recoverability != RecoverabilityLevel::None
+                    {
+                        config.unflushed_limit_records
+                    } else {
+                        None
+                    },
+                    ..dpr_faster::FasterConfig::default()
+                },
+                device,
+                blobs,
+            );
+            Arc::new(FasterShard::new(shard, kv))
+        }
+        ClusterKind::DRedis => {
+            let blobs = Arc::new(MemBlobStore::with_latency(config.storage.latency()));
+            let (aof_policy, aof) = match config.recoverability {
+                RecoverabilityLevel::Synchronous => (
+                    AofPolicy::Always,
+                    Some(Arc::new(MemLogDevice::with_profile(config.storage)) as _),
+                ),
+                RecoverabilityLevel::Eventual => (
+                    AofPolicy::EverySec,
+                    Some(Arc::new(MemLogDevice::with_profile(config.storage)) as _),
+                ),
+                _ => (AofPolicy::Off, None),
+            };
+            let store = RedisStore::new(RedisConfig { aof: aof_policy }, blobs, aof)?;
+            Arc::new(RedisShard::new(shard, store))
+        }
+    })
+}

@@ -1,0 +1,266 @@
+//! The D-FASTER shard: deep DPR integration with the FASTER-style store
+//! (§5).
+//!
+//! `Commit()` maps to FASTER's CPR fold-over checkpoint (a lightweight
+//! metadata-only operation over the already-flushing log) and `Restore()`
+//! to the non-blocking THROW/PURGE rollback of §5.5. Per client session, the
+//! worker keeps a corresponding FASTER session under the same globally
+//! unique id (§5.2).
+
+use crate::message::{ClusterOp, OpResult};
+use crate::worker::ShardStore;
+use dpr_core::{Result, SessionId, ShardId, Value, Version};
+use dpr_faster::{FasterKv, OpOutcome, Session};
+use libdpr::{CommitDescriptor, StateObject};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+enum Slot {
+    Idle(Session),
+    /// Checked out by an executor thread; batches for the same session
+    /// queue behind it, preserving the sequential session discipline.
+    Busy,
+}
+
+/// A FASTER-backed shard.
+pub struct FasterShard {
+    shard: ShardId,
+    kv: Arc<FasterKv>,
+    /// Server-side FASTER sessions, one per client session id (§5.2).
+    sessions: Mutex<HashMap<SessionId, Slot>>,
+}
+
+impl FasterShard {
+    /// Wrap a store as shard `shard`.
+    pub fn new(shard: ShardId, kv: Arc<FasterKv>) -> Self {
+        FasterShard {
+            shard,
+            kv,
+            sessions: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The underlying store (diagnostics/tests).
+    #[must_use]
+    pub fn kv(&self) -> &Arc<FasterKv> {
+        &self.kv
+    }
+
+    fn checkout(&self, id: SessionId) -> Session {
+        loop {
+            {
+                let mut sessions = self.sessions.lock();
+                match sessions.get_mut(&id) {
+                    Some(slot @ Slot::Idle(_)) => {
+                        let Slot::Idle(s) = std::mem::replace(slot, Slot::Busy) else {
+                            unreachable!()
+                        };
+                        return s;
+                    }
+                    Some(Slot::Busy) => { /* fall through to retry */ }
+                    None => {
+                        // First contact from this client session: create the
+                        // corresponding store session (§5.2). Mark busy under
+                        // the lock so no duplicate can be created.
+                        sessions.insert(id, Slot::Busy);
+                        drop(sessions);
+                        return self.kv.start_session(id);
+                    }
+                }
+            }
+            std::thread::yield_now();
+        }
+    }
+
+    fn checkin(&self, id: SessionId, session: Session) {
+        self.sessions.lock().insert(id, Slot::Idle(session));
+    }
+}
+
+impl ShardStore for FasterShard {
+    fn execute_batch(
+        &self,
+        session_id: SessionId,
+        ops: &[ClusterOp],
+    ) -> Result<(Vec<OpResult>, Version)> {
+        let session = self.checkout(session_id);
+        let run = (|| {
+            let mut results: Vec<Option<OpResult>> = vec![None; ops.len()];
+            let mut pending: Vec<(u64, usize)> = Vec::new();
+            let mut version = Version::ZERO;
+            for (i, op) in ops.iter().enumerate() {
+                let outcome = match op {
+                    ClusterOp::Read(k) => session.read(k)?,
+                    ClusterOp::Upsert(k, v) => session.upsert(k.clone(), v.clone())?,
+                    ClusterOp::Incr(k) => session.rmw(k.clone(), |old| {
+                        Value::from_u64(old.and_then(|v| v.as_u64()).unwrap_or(0) + 1)
+                    })?,
+                    ClusterOp::Delete(k) => session.delete(k.clone())?,
+                };
+                match outcome {
+                    OpOutcome::Read {
+                        value, version: v, ..
+                    } => {
+                        version = version.max(v);
+                        results[i] = Some(OpResult::Value(value));
+                    }
+                    OpOutcome::Mutated { version: v, .. } => {
+                        version = version.max(v);
+                        results[i] = Some(OpResult::Done);
+                    }
+                    OpOutcome::Pending(t) => pending.push((t.serial, i)),
+                }
+            }
+            if !pending.is_empty() {
+                // Remote execution resolves PENDINGs before replying (the
+                // background-thread path of §5.2).
+                let completed = session.complete_pending()?;
+                for c in completed {
+                    if let Some(&(_, idx)) = pending.iter().find(|(serial, _)| *serial == c.serial)
+                    {
+                        version = version.max(c.version);
+                        results[idx] = Some(match &ops[idx] {
+                            ClusterOp::Read(_) => OpResult::Value(c.value.clone()),
+                            _ => OpResult::Done,
+                        });
+                    }
+                }
+            }
+            if version == Version::ZERO {
+                version = self.kv.current_version();
+            }
+            let results: Vec<OpResult> = results
+                .into_iter()
+                .map(|r| r.unwrap_or(OpResult::Value(None)))
+                .collect();
+            Ok((results, version))
+        })();
+        self.checkin(session_id, session);
+        run
+    }
+
+    fn scan_live(&self) -> Result<Vec<(dpr_core::Key, Value)>> {
+        self.kv.scan_live()
+    }
+
+    fn collect_garbage(&self, version: Version) -> Result<()> {
+        if version > Version::ZERO && version <= self.kv.durable_version() {
+            let _ = self.kv.collect_garbage(version)?;
+        }
+        Ok(())
+    }
+}
+
+impl StateObject for FasterShard {
+    fn shard(&self) -> ShardId {
+        self.shard
+    }
+
+    fn current_version(&self) -> Version {
+        self.kv.current_version()
+    }
+
+    fn durable_version(&self) -> Version {
+        self.kv.durable_version()
+    }
+
+    fn request_commit(&self, target: Option<Version>) -> bool {
+        self.kv.request_checkpoint(target)
+    }
+
+    fn take_commits(&self) -> Vec<CommitDescriptor> {
+        self.kv
+            .take_completed_checkpoints()
+            .into_iter()
+            .map(|c| CommitDescriptor { version: c.version })
+            .collect()
+    }
+
+    fn restore(&self, version: Version) -> Result<()> {
+        self.kv.restore_sync(version, Duration::from_secs(30))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpr_core::Key;
+    use dpr_faster::FasterConfig;
+    use dpr_storage::{MemBlobStore, MemLogDevice};
+
+    fn shard() -> FasterShard {
+        let kv = FasterKv::new(
+            FasterConfig {
+                index_buckets: 1 << 10,
+                memory_budget_records: 1 << 20,
+                auto_maintenance: true,
+                ..FasterConfig::default()
+            },
+            Arc::new(MemLogDevice::null()),
+            Arc::new(MemBlobStore::new()),
+        );
+        FasterShard::new(ShardId(0), kv)
+    }
+
+    #[test]
+    fn batch_execution_round_trip() {
+        let s = shard();
+        let ops = vec![
+            ClusterOp::Upsert(Key::from_u64(1), Value::from_u64(10)),
+            ClusterOp::Read(Key::from_u64(1)),
+            ClusterOp::Incr(Key::from_u64(2)),
+            ClusterOp::Incr(Key::from_u64(2)),
+            ClusterOp::Read(Key::from_u64(2)),
+            ClusterOp::Delete(Key::from_u64(1)),
+            ClusterOp::Read(Key::from_u64(1)),
+        ];
+        let (results, version) = s.execute_batch(SessionId(1), &ops).unwrap();
+        assert_eq!(version, Version(1));
+        assert_eq!(results[1], OpResult::Value(Some(Value::from_u64(10))));
+        assert_eq!(results[4], OpResult::Value(Some(Value::from_u64(2))));
+        assert_eq!(results[6], OpResult::Value(None));
+    }
+
+    #[test]
+    fn state_object_commit_cycle() {
+        let s = shard();
+        s.execute_batch(
+            SessionId(1),
+            &[ClusterOp::Upsert(Key::from_u64(1), Value::from_u64(1))],
+        )
+        .unwrap();
+        assert!(s.request_commit(None));
+        assert!(s.kv().wait_for_durable(Version(1), Duration::from_secs(5)));
+        let commits = s.take_commits();
+        assert_eq!(
+            commits,
+            vec![CommitDescriptor {
+                version: Version(1)
+            }]
+        );
+    }
+
+    #[test]
+    fn restore_rolls_back_uncommitted_batches() {
+        let s = shard();
+        s.execute_batch(
+            SessionId(1),
+            &[ClusterOp::Upsert(Key::from_u64(1), Value::from_u64(1))],
+        )
+        .unwrap();
+        s.request_commit(None);
+        assert!(s.kv().wait_for_durable(Version(1), Duration::from_secs(5)));
+        s.execute_batch(
+            SessionId(1),
+            &[ClusterOp::Upsert(Key::from_u64(1), Value::from_u64(99))],
+        )
+        .unwrap();
+        s.restore(Version(1)).unwrap();
+        let (results, _) = s
+            .execute_batch(SessionId(2), &[ClusterOp::Read(Key::from_u64(1))])
+            .unwrap();
+        assert_eq!(results[0], OpResult::Value(Some(Value::from_u64(1))));
+    }
+}

@@ -1,0 +1,37 @@
+//! # dpr-cluster
+//!
+//! In-process distributed deployments of DPR: **D-FASTER** (§5) and
+//! **D-Redis** (§6), plus the cluster manager (§4.1) and the client stack.
+//!
+//! The cluster is a set of shard *workers*, each owning a slice of the
+//! keyspace (virtual partitions, §5.3), executing client batches against its
+//! local cache-store, and running the libDPR server hooks. Workers
+//! coordinate only through the shared metadata store (DPR table, ownership,
+//! membership, recovery state) and the client-piggybacked headers — no
+//! worker-to-worker traffic, as in the paper.
+//!
+//! The network is an in-process message bus with configurable one-way
+//! latency ([`transport`]); swapping it for TCP would not change any
+//! protocol code (see DESIGN.md's substitution notes).
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod cluster;
+pub mod dfaster;
+pub mod dredis;
+pub mod manager;
+pub mod message;
+pub mod proxy;
+pub mod tcp;
+pub mod transport;
+pub mod worker;
+
+pub use client::SessionHandle;
+pub use cluster::{Cluster, ClusterConfig, ClusterKind};
+pub use dfaster::FasterShard;
+pub use dredis::RedisShard;
+pub use manager::ClusterManager;
+pub use message::{ClusterOp, OpResult};
+pub use transport::{EndpointId, SimNetwork};
+pub use worker::{ShardStore, Worker};

@@ -1,0 +1,53 @@
+//! The cluster manager (§4.1).
+//!
+//! An external entity (Kubernetes / Service Fabric in the paper) detects
+//! failures and orchestrates recovery: it assigns a serial id to each
+//! failure (the new world-line), halts DPR progress, asks every worker to
+//! roll back to the guaranteed cut, and resumes progress once all workers
+//! report completion. Here the manager drives the shared metadata store;
+//! workers participate by polling it (see `Worker::check_recovery`).
+
+use dpr_core::{DprError, Result};
+use dpr_metadata::{MetadataStore, RecoveryState};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Failure detection and recovery orchestration.
+pub struct ClusterManager {
+    meta: Arc<dyn MetadataStore>,
+}
+
+impl ClusterManager {
+    /// Manager over the shared metadata store.
+    pub fn new(meta: Arc<dyn MetadataStore>) -> Self {
+        ClusterManager { meta }
+    }
+
+    /// Report a detected failure: bumps the world-line, freezes DPR
+    /// progress, and instructs every worker to roll back to the guaranteed
+    /// cut. Returns the recovery state (workers complete it asynchronously).
+    ///
+    /// Mirrors §7.4's methodology: "we simulated a worker failure by
+    /// notifying workers of a new world-line, forcing all workers to
+    /// rollback to the latest DPR cut."
+    pub fn trigger_failure(&self) -> Result<RecoveryState> {
+        self.meta.begin_recovery()
+    }
+
+    /// Block until any in-flight recovery completes.
+    pub fn wait_recovery_complete(&self, timeout: Duration) -> Result<()> {
+        let deadline = Instant::now() + timeout;
+        while self.meta.recovery_in_progress()?.is_some() {
+            if Instant::now() > deadline {
+                return Err(DprError::Timeout);
+            }
+            std::thread::sleep(Duration::from_micros(500));
+        }
+        Ok(())
+    }
+
+    /// Whether a recovery is currently in progress.
+    pub fn recovering(&self) -> Result<bool> {
+        Ok(self.meta.recovery_in_progress()?.is_some())
+    }
+}

@@ -1,0 +1,53 @@
+//! A pass-through proxy: forwards request batches to a worker and relays
+//! the responses back, adding one network hop and nothing else.
+//!
+//! Used by the Fig. 17/18 experiments to separate the cost of D-Redis's
+//! proxy hop from the cost of the DPR protocol itself (§7.5: "we repeated
+//! the experiment with a pass-through proxy without DPR").
+
+use crate::message::{Message, ResponseMsg};
+use crate::transport::{EndpointId, SimNetwork};
+use dpr_core::SessionId;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Start a proxy in front of `target`; returns the proxy's endpoint, which
+/// clients should address instead of the worker's.
+pub fn start_proxy(net: &Arc<SimNetwork>, target: EndpointId) -> EndpointId {
+    let (endpoint, rx) = net.register();
+    let net = Arc::downgrade(net);
+    std::thread::Builder::new()
+        .name("dredis-proxy".into())
+        .spawn(move || {
+            // (session, first_serial) → client endpoint awaiting the reply.
+            let mut pending: HashMap<(SessionId, u64), EndpointId> = HashMap::new();
+            loop {
+                let Some(net) = net.upgrade() else { return };
+                match rx.recv_timeout(Duration::from_millis(50)) {
+                    Ok(Message::Request(mut req)) => {
+                        pending.insert((req.header.session, req.header.first_serial), req.reply_to);
+                        req.reply_to = endpoint;
+                        let _ = net.send(target, Message::Request(req));
+                    }
+                    Ok(Message::Response(resp)) => {
+                        if let Some(client) = lookup(&mut pending, &resp) {
+                            let _ = net.send(client, Message::Response(resp));
+                        }
+                    }
+                    Err(crossbeam::channel::RecvTimeoutError::Timeout) => {}
+                    Err(crossbeam::channel::RecvTimeoutError::Disconnected) => return,
+                }
+            }
+        })
+        .expect("spawn proxy");
+    endpoint
+}
+
+fn lookup(
+    pending: &mut HashMap<(SessionId, u64), EndpointId>,
+    resp: &ResponseMsg,
+) -> Option<EndpointId> {
+    let session = resp.session?;
+    pending.remove(&(session, resp.first_serial))
+}

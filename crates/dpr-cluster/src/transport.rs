@@ -1,0 +1,224 @@
+//! The in-process message bus with configurable one-way latency.
+//!
+//! Stand-in for the paper's TCP + accelerated networking (see DESIGN.md):
+//! endpoints register an inbox; `send` either delivers immediately
+//! (zero-latency configuration) or schedules delivery through a delay-heap
+//! pump thread. Per-message delivery cost is what makes client batching
+//! (`b`) and windowing (`w`) matter, reproducing the trade-offs of Fig. 13.
+
+use crate::message::Message;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use dpr_core::{DprError, Result};
+use parking_lot::{Condvar, Mutex, RwLock};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Address of a worker or client on the bus.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EndpointId(pub u64);
+
+struct Delayed {
+    deliver_at: Instant,
+    seq: u64,
+    to: EndpointId,
+    msg: Message,
+}
+
+impl PartialEq for Delayed {
+    fn eq(&self, other: &Self) -> bool {
+        self.deliver_at == other.deliver_at && self.seq == other.seq
+    }
+}
+impl Eq for Delayed {}
+impl PartialOrd for Delayed {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Delayed {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.deliver_at, self.seq).cmp(&(other.deliver_at, other.seq))
+    }
+}
+
+struct PumpState {
+    heap: BinaryHeap<Reverse<Delayed>>,
+}
+
+/// The bus.
+pub struct SimNetwork {
+    latency: Duration,
+    endpoints: RwLock<HashMap<EndpointId, Sender<Message>>>,
+    pump: Mutex<PumpState>,
+    pump_wake: Condvar,
+    seq: AtomicU64,
+    shutdown: AtomicBool,
+    next_endpoint: AtomicU64,
+}
+
+impl SimNetwork {
+    /// Create a bus with the given one-way message latency. A latency of
+    /// zero delivers synchronously with no pump thread involvement.
+    pub fn new(latency: Duration) -> Arc<SimNetwork> {
+        let net = Arc::new(SimNetwork {
+            latency,
+            endpoints: RwLock::new(HashMap::new()),
+            pump: Mutex::new(PumpState {
+                heap: BinaryHeap::new(),
+            }),
+            pump_wake: Condvar::new(),
+            seq: AtomicU64::new(0),
+            shutdown: AtomicBool::new(false),
+            next_endpoint: AtomicU64::new(0),
+        });
+        if !latency.is_zero() {
+            let weak = Arc::downgrade(&net);
+            std::thread::Builder::new()
+                .name("sim-net-pump".into())
+                .spawn(move || loop {
+                    let Some(net) = weak.upgrade() else { return };
+                    if net.shutdown.load(Ordering::Acquire) {
+                        return;
+                    }
+                    net.pump_once();
+                })
+                .expect("spawn network pump");
+        }
+        net
+    }
+
+    /// Allocate a fresh endpoint and its inbox.
+    pub fn register(&self) -> (EndpointId, Receiver<Message>) {
+        let id = EndpointId(self.next_endpoint.fetch_add(1, Ordering::AcqRel));
+        let (tx, rx) = unbounded();
+        self.endpoints.write().insert(id, tx);
+        (id, rx)
+    }
+
+    /// Send `msg` to `to`, subject to the configured latency.
+    pub fn send(&self, to: EndpointId, msg: Message) -> Result<()> {
+        if self.shutdown.load(Ordering::Acquire) {
+            return Err(DprError::Closed);
+        }
+        if self.latency.is_zero() {
+            return self.deliver(to, msg);
+        }
+        let mut pump = self.pump.lock();
+        pump.heap.push(Reverse(Delayed {
+            deliver_at: Instant::now() + self.latency,
+            seq: self.seq.fetch_add(1, Ordering::Relaxed),
+            to,
+            msg,
+        }));
+        self.pump_wake.notify_one();
+        Ok(())
+    }
+
+    fn deliver(&self, to: EndpointId, msg: Message) -> Result<()> {
+        let endpoints = self.endpoints.read();
+        match endpoints.get(&to) {
+            Some(tx) => tx.send(msg).map_err(|_| DprError::Closed),
+            None => Err(DprError::Invalid(format!("unknown endpoint {to:?}"))),
+        }
+    }
+
+    fn pump_once(&self) {
+        let mut due = Vec::new();
+        {
+            let mut pump = self.pump.lock();
+            let now = Instant::now();
+            loop {
+                match pump.heap.peek() {
+                    Some(Reverse(d)) if d.deliver_at <= now => {
+                        let Reverse(d) = pump.heap.pop().unwrap();
+                        due.push((d.to, d.msg));
+                    }
+                    Some(Reverse(d)) => {
+                        let wait = d.deliver_at - now;
+                        if due.is_empty() {
+                            self.pump_wake
+                                .wait_for(&mut pump, wait.min(Duration::from_micros(200)));
+                        }
+                        break;
+                    }
+                    None => {
+                        if due.is_empty() {
+                            self.pump_wake.wait_for(&mut pump, Duration::from_millis(5));
+                        }
+                        break;
+                    }
+                }
+            }
+        }
+        for (to, msg) in due {
+            let _ = self.deliver(to, msg);
+        }
+    }
+
+    /// Tear down; subsequent sends fail.
+    pub fn shutdown(&self) {
+        self.shutdown.store(true, Ordering::Release);
+        self.pump_wake.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::{Message, ResponseMsg};
+
+    fn response(first_serial: u64) -> Message {
+        Message::Response(ResponseMsg {
+            session: None,
+            first_serial,
+            op_count: 1,
+            outcome: Err(DprError::Timeout),
+        })
+    }
+
+    #[test]
+    fn zero_latency_delivers_synchronously() {
+        let net = SimNetwork::new(Duration::ZERO);
+        let (id, rx) = net.register();
+        net.send(id, response(7)).unwrap();
+        match rx.try_recv().unwrap() {
+            Message::Response(r) => assert_eq!(r.first_serial, 7),
+            Message::Request(_) => panic!("wrong message"),
+        }
+    }
+
+    #[test]
+    fn latency_delays_delivery() {
+        let net = SimNetwork::new(Duration::from_millis(20));
+        let (id, rx) = net.register();
+        let start = Instant::now();
+        net.send(id, response(1)).unwrap();
+        assert!(rx.try_recv().is_err(), "not delivered immediately");
+        let _ = rx.recv_timeout(Duration::from_millis(500)).unwrap();
+        assert!(start.elapsed() >= Duration::from_millis(18));
+    }
+
+    #[test]
+    fn messages_ordered_per_latency_class() {
+        let net = SimNetwork::new(Duration::from_millis(5));
+        let (id, rx) = net.register();
+        for i in 0..10 {
+            net.send(id, response(i)).unwrap();
+        }
+        for i in 0..10 {
+            match rx.recv_timeout(Duration::from_millis(500)).unwrap() {
+                Message::Response(r) => assert_eq!(r.first_serial, i),
+                Message::Request(_) => panic!("wrong message"),
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_endpoint_errors() {
+        let net = SimNetwork::new(Duration::ZERO);
+        assert!(net.send(EndpointId(99), response(0)).is_err());
+    }
+}

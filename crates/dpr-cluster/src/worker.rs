@@ -1,0 +1,306 @@
+//! Shard workers: batch execution + libDPR server hooks + background
+//! checkpointing, commit pumping, and recovery participation.
+
+use crate::message::{ClusterOp, Message, OpResult, RequestMsg, ResponseMsg};
+use crate::transport::{EndpointId, SimNetwork};
+use crossbeam::channel::Receiver;
+use dpr_core::{DprError, Result, SessionId, ShardId, Version, WorldLine};
+use dpr_metadata::{MetadataStore, OwnershipTable};
+use libdpr::{BatchHeader, BatchReply, DprFinder, DprServer, StateObject};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Weak};
+use std::time::{Duration, Instant};
+
+/// A cache-store shard as the worker drives it: the libDPR
+/// [`StateObject`] plus batch execution.
+pub trait ShardStore: StateObject {
+    /// Execute a batch of operations for `session`, returning per-op results
+    /// and the version the batch executed in.
+    fn execute_batch(
+        &self,
+        session: SessionId,
+        ops: &[ClusterOp],
+    ) -> Result<(Vec<OpResult>, Version)>;
+
+    /// Snapshot the live key/value pairs (key migration, §5.3).
+    fn scan_live(&self) -> Result<Vec<(dpr_core::Key, dpr_core::Value)>>;
+
+    /// Garbage-collect durable state below the DPR-guaranteed `version`
+    /// (§5.5). Default: stores with no log to truncate do nothing.
+    fn collect_garbage(&self, version: Version) -> Result<()> {
+        let _ = version;
+        Ok(())
+    }
+}
+
+/// Worker behavior knobs (these map onto the paper's experiment axes).
+#[derive(Debug, Clone)]
+pub struct WorkerConfig {
+    /// Checkpoint trigger period; `None` disables checkpoints entirely
+    /// ("No Chkpts" in Figs. 10–11).
+    pub checkpoint_interval: Option<Duration>,
+    /// Track dependencies and report commits to the DPR finder. Disabling
+    /// this with checkpoints still on gives the "No DPR" / eventual
+    /// configurations.
+    pub dpr_enabled: bool,
+    /// Make every batch wait for durability before replying (the
+    /// synchronous recoverability level of §7.6).
+    pub sync_commit: bool,
+    /// Executor threads consuming the request inbox.
+    pub executors: usize,
+    /// Validate key ownership per operation (§5.3).
+    pub validate_ownership: bool,
+    /// Fast-forward lagging checkpoints to the cluster `Vmax` (§3.4).
+    pub fast_forward: bool,
+}
+
+impl Default for WorkerConfig {
+    fn default() -> Self {
+        WorkerConfig {
+            checkpoint_interval: Some(Duration::from_millis(100)),
+            dpr_enabled: true,
+            sync_commit: false,
+            executors: 2,
+            validate_ownership: true,
+            fast_forward: true,
+        }
+    }
+}
+
+/// One shard worker.
+pub struct Worker {
+    shard: ShardId,
+    store: Arc<dyn ShardStore>,
+    server: Arc<DprServer>,
+    net: Arc<SimNetwork>,
+    endpoint: EndpointId,
+    ownership: Arc<OwnershipTable>,
+    meta: Arc<dyn MetadataStore>,
+    finder: Arc<dyn DprFinder>,
+    config: WorkerConfig,
+    shutdown: AtomicBool,
+    /// Operations executed (all sessions) — worker-side throughput counter.
+    executed_ops: AtomicU64,
+}
+
+impl Worker {
+    /// Create and start a worker: registers on the bus and metadata store,
+    /// spawns executor and control threads.
+    #[allow(clippy::too_many_arguments)]
+    pub fn start(
+        shard: ShardId,
+        store: Arc<dyn ShardStore>,
+        net: Arc<SimNetwork>,
+        ownership: Arc<OwnershipTable>,
+        meta: Arc<dyn MetadataStore>,
+        finder: Arc<dyn DprFinder>,
+        config: WorkerConfig,
+    ) -> Result<Arc<Worker>> {
+        let (endpoint, inbox) = net.register();
+        meta.register_worker(shard)?;
+        let worker = Arc::new(Worker {
+            shard,
+            store,
+            server: Arc::new(DprServer::new(shard)),
+            net,
+            endpoint,
+            ownership,
+            meta,
+            finder,
+            config,
+            shutdown: AtomicBool::new(false),
+            executed_ops: AtomicU64::new(0),
+        });
+        for i in 0..worker.config.executors.max(1) {
+            let weak = Arc::downgrade(&worker);
+            let rx = inbox.clone();
+            std::thread::Builder::new()
+                .name(format!("worker-{}-exec-{i}", shard.0))
+                .spawn(move || executor_loop(&weak, &rx))
+                .expect("spawn executor");
+        }
+        {
+            let weak = Arc::downgrade(&worker);
+            std::thread::Builder::new()
+                .name(format!("worker-{}-ctl", shard.0))
+                .spawn(move || control_loop(&weak))
+                .expect("spawn control thread");
+        }
+        Ok(worker)
+    }
+
+    /// This worker's shard id.
+    #[must_use]
+    pub fn shard(&self) -> ShardId {
+        self.shard
+    }
+
+    /// This worker's bus address.
+    #[must_use]
+    pub fn endpoint(&self) -> EndpointId {
+        self.endpoint
+    }
+
+    /// The world-line this worker is on.
+    #[must_use]
+    pub fn world_line(&self) -> WorldLine {
+        self.server.world_line()
+    }
+
+    /// Total operations executed by this worker.
+    #[must_use]
+    pub fn executed_ops(&self) -> u64 {
+        self.executed_ops.load(Ordering::Relaxed)
+    }
+
+    /// The underlying store (tests/diagnostics).
+    #[must_use]
+    pub fn store(&self) -> &Arc<dyn ShardStore> {
+        &self.store
+    }
+
+    /// Execute a batch on the calling thread — the path used both by
+    /// executor threads for remote requests and directly by co-located
+    /// applications (§5.2's local execution).
+    pub fn execute_local(
+        &self,
+        header: &BatchHeader,
+        ops: &[ClusterOp],
+    ) -> Result<(BatchReply, Vec<OpResult>)> {
+        self.server
+            .validate_blocking(header, self.store.as_ref(), Duration::from_secs(10))?;
+        if self.config.validate_ownership {
+            for op in ops {
+                if !self.ownership.validate(self.shard, op.key()) {
+                    return Err(DprError::NotOwner { shard: self.shard });
+                }
+            }
+        }
+        let (results, version) = self.store.execute_batch(header.session, ops)?;
+        self.executed_ops
+            .fetch_add(ops.len() as u64, Ordering::Relaxed);
+        if self.config.dpr_enabled {
+            self.server.record_batch(header, version);
+        }
+        if self.config.sync_commit {
+            // Synchronous recoverability: group-commit and wait (§7.6).
+            let deadline = Instant::now() + Duration::from_secs(10);
+            while self.store.durable_version() < version {
+                self.store.request_commit(None);
+                if Instant::now() > deadline {
+                    return Err(DprError::Timeout);
+                }
+                std::thread::yield_now();
+            }
+        }
+        Ok((self.server.make_reply(header, version), results))
+    }
+
+    /// Stop background threads.
+    pub fn stop(&self) {
+        self.shutdown.store(true, Ordering::Release);
+    }
+
+    fn control_tick(&self, last_checkpoint: &mut Instant, poll_counter: &mut u32) {
+        if let Some(interval) = self.config.checkpoint_interval {
+            if last_checkpoint.elapsed() >= interval {
+                let target = if self.config.dpr_enabled && self.config.fast_forward {
+                    self.finder.max_version().ok()
+                } else {
+                    None
+                };
+                if self.store.request_commit(target) {
+                    *last_checkpoint = Instant::now();
+                }
+            }
+        }
+        if self.config.dpr_enabled {
+            let _ = self
+                .server
+                .pump_commits(self.store.as_ref(), self.finder.as_ref());
+        }
+        *poll_counter += 1;
+        if (*poll_counter).is_multiple_of(4) {
+            self.ownership.renew_leases(self.shard);
+            self.check_recovery();
+        }
+        if (*poll_counter).is_multiple_of(512) && self.config.dpr_enabled {
+            // GC durable log space the DPR cut has moved past (§5.5).
+            if let Ok(cut) = self.finder.current_cut() {
+                if let Some(&v) = cut.get(&self.shard) {
+                    let _ = self.store.collect_garbage(v);
+                }
+            }
+        }
+    }
+
+    /// Participate in cluster recovery (§4.1): if the cluster manager has
+    /// begun a recovery we have not completed, roll back to the guaranteed
+    /// cut, advance the world-line, and report completion.
+    fn check_recovery(&self) {
+        let Ok(Some(rec)) = self.meta.recovery_in_progress() else {
+            return;
+        };
+        if !rec.pending.contains(&self.shard) || rec.world_line <= self.server.world_line() {
+            return;
+        }
+        let target = rec.cut.get(&self.shard).copied().unwrap_or(Version::ZERO);
+        if self.store.restore(target).is_ok() {
+            self.server.on_restore(target);
+            self.server.set_world_line(rec.world_line);
+            let _ = self.meta.report_rollback_complete(self.shard);
+        }
+    }
+}
+
+fn executor_loop(worker: &Weak<Worker>, inbox: &Receiver<Message>) {
+    loop {
+        let Some(w) = worker.upgrade() else { return };
+        if w.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        match inbox.recv_timeout(Duration::from_millis(20)) {
+            Ok(Message::Request(req)) => handle_request(&w, req),
+            Ok(Message::Response(_)) => { /* workers do not expect responses */ }
+            Err(_) => {}
+        }
+    }
+}
+
+fn handle_request(w: &Arc<Worker>, req: RequestMsg) {
+    let RequestMsg {
+        reply_to,
+        header,
+        ops,
+    } = req;
+    let outcome = w.execute_local(&header, &ops);
+    let _ = w.net.send(
+        reply_to,
+        Message::Response(ResponseMsg {
+            session: Some(header.session),
+            first_serial: header.first_serial,
+            op_count: header.op_count,
+            outcome,
+        }),
+    );
+}
+
+fn control_loop(worker: &Weak<Worker>) {
+    let mut last_checkpoint = Instant::now();
+    let mut poll_counter = 0u32;
+    loop {
+        let Some(w) = worker.upgrade() else { return };
+        if w.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        w.control_tick(&mut last_checkpoint, &mut poll_counter);
+        drop(w);
+        std::thread::sleep(Duration::from_millis(1));
+    }
+}
+
+impl Drop for Worker {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}

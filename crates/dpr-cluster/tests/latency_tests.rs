@@ -1,0 +1,83 @@
+//! Correctness under injected network and metadata latency: the protocol
+//! must behave identically, just slower — and DPR's claim is precisely
+//! that metadata latency stays OFF the operation critical path.
+
+use dpr_cluster::{Cluster, ClusterConfig, ClusterKind, ClusterOp, OpResult};
+use dpr_core::{Key, Value};
+use std::time::{Duration, Instant};
+
+#[test]
+fn cluster_is_correct_with_network_latency() {
+    let cluster = Cluster::start(ClusterConfig {
+        kind: ClusterKind::DFaster,
+        shards: 2,
+        network_latency: Duration::from_millis(2),
+        checkpoint_interval: Some(Duration::from_millis(25)),
+        finder_interval: Duration::from_millis(2),
+        ..ClusterConfig::default()
+    })
+    .unwrap();
+    let mut session = cluster.open_session().unwrap();
+    let t = Instant::now();
+    session
+        .execute(vec![ClusterOp::Upsert(
+            Key::from_u64(1),
+            Value::from_u64(7),
+        )])
+        .unwrap();
+    // One round trip ≈ 2 × 2 ms.
+    assert!(t.elapsed() >= Duration::from_millis(3), "latency applied");
+    let results = session
+        .execute(vec![ClusterOp::Read(Key::from_u64(1))])
+        .unwrap();
+    assert_eq!(results[0], OpResult::Value(Some(Value::from_u64(7))));
+    session
+        .wait_all_committed(cluster.cut_source(), Duration::from_secs(10))
+        .unwrap();
+    assert_eq!(session.stats().committed, 2);
+    cluster.shutdown();
+}
+
+#[test]
+fn metadata_latency_stays_off_the_operation_critical_path() {
+    // Same workload with 0 vs 5 ms metadata statements: operation latency
+    // must be unaffected (commits get slower, operations do not).
+    let run = |meta_latency: Duration| -> (Duration, Duration) {
+        let cluster = Cluster::start(ClusterConfig {
+            kind: ClusterKind::DFaster,
+            shards: 2,
+            metadata_latency: meta_latency,
+            checkpoint_interval: Some(Duration::from_millis(20)),
+            finder_interval: Duration::from_millis(2),
+            ..ClusterConfig::default()
+        })
+        .unwrap();
+        let mut session = cluster.open_session().unwrap();
+        // Measure operation latency over 50 single-op executes.
+        let t = Instant::now();
+        for i in 0..50u64 {
+            session
+                .execute(vec![ClusterOp::Upsert(
+                    Key::from_u64(i),
+                    Value::from_u64(i),
+                )])
+                .unwrap();
+        }
+        let op_time = t.elapsed() / 50;
+        let t = Instant::now();
+        session
+            .wait_all_committed(cluster.cut_source(), Duration::from_secs(20))
+            .unwrap();
+        let commit_tail = t.elapsed();
+        cluster.shutdown();
+        (op_time, commit_tail)
+    };
+    let (fast_ops, _) = run(Duration::ZERO);
+    let (slow_ops, _) = run(Duration::from_millis(5));
+    // Operations are microseconds; even with 5 ms metadata statements they
+    // must stay far below one metadata round trip.
+    assert!(
+        slow_ops < Duration::from_millis(5),
+        "metadata latency leaked into the op path: {slow_ops:?} (baseline {fast_ops:?})"
+    );
+}

@@ -1,0 +1,280 @@
+//! Light epoch protection, after FASTER's `LightEpoch`.
+//!
+//! Threads working on a shared structure *protect* themselves by publishing
+//! the global epoch into a per-thread slot. Maintenance that must wait for
+//! all in-flight threads (e.g. freeing a log page, or firing a checkpoint
+//! phase transition) bumps the global epoch and registers a *drain action*
+//! that runs once every protected thread has advanced past the bump — i.e.
+//! once the bumped epoch becomes *safe*.
+//!
+//! This is the substrate on which the CPR/DPR state machines (checkpoint,
+//! rollback) coordinate threads "loosely" without blocking them (§5.5).
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Sentinel meaning "slot unused / thread not protected".
+const UNPROTECTED: u64 = 0;
+
+/// A drain action: runs exactly once, when its trigger epoch becomes safe.
+type DrainAction = Box<dyn FnOnce() + Send>;
+
+struct Drain {
+    epoch: u64,
+    action: DrainAction,
+}
+
+/// Epoch table sized for `max_threads` concurrent participants.
+pub struct LightEpoch {
+    current: AtomicU64,
+    slots: Box<[AtomicU64]>,
+    drains: Mutex<Vec<Drain>>,
+    /// Number of drain actions executed (observable for tests/metrics).
+    drained: AtomicU64,
+}
+
+impl std::fmt::Debug for LightEpoch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LightEpoch")
+            .field("current", &self.current.load(Ordering::Relaxed))
+            .field("slots", &self.slots.len())
+            .finish()
+    }
+}
+
+/// Guard for a protected thread; drops protection when dropped.
+pub struct EpochGuard<'a> {
+    epoch: &'a LightEpoch,
+    slot: usize,
+}
+
+impl LightEpoch {
+    /// Create an epoch table with capacity for `max_threads` simultaneous
+    /// participants.
+    #[must_use]
+    pub fn new(max_threads: usize) -> Self {
+        let slots = (0..max_threads.max(1))
+            .map(|_| AtomicU64::new(UNPROTECTED))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        LightEpoch {
+            current: AtomicU64::new(1),
+            slots,
+            drains: Mutex::new(Vec::new()),
+            drained: AtomicU64::new(0),
+        }
+    }
+
+    /// The current global epoch.
+    #[must_use]
+    pub fn current(&self) -> u64 {
+        self.current.load(Ordering::Acquire)
+    }
+
+    /// Number of drain actions that have fired.
+    #[must_use]
+    pub fn drained_count(&self) -> u64 {
+        self.drained.load(Ordering::Relaxed)
+    }
+
+    /// Protect the calling thread in an unused slot; the returned guard keeps
+    /// the protection alive. Also drains any ready actions.
+    ///
+    /// # Panics
+    /// Panics if all slots are occupied — size the table for your thread
+    /// count.
+    pub fn protect(&self) -> EpochGuard<'_> {
+        let e = self.current.load(Ordering::Acquire);
+        for (i, slot) in self.slots.iter().enumerate() {
+            if slot.load(Ordering::Relaxed) == UNPROTECTED
+                && slot
+                    .compare_exchange(UNPROTECTED, e, Ordering::AcqRel, Ordering::Relaxed)
+                    .is_ok()
+            {
+                self.try_drain();
+                return EpochGuard {
+                    epoch: self,
+                    slot: i,
+                };
+            }
+        }
+        panic!("LightEpoch: no free slot ({} threads)", self.slots.len());
+    }
+
+    /// Refresh an existing guard to the current epoch and drain ready
+    /// actions. Threads in long-running loops call this periodically.
+    pub fn refresh(&self, guard: &EpochGuard<'_>) {
+        let e = self.current.load(Ordering::Acquire);
+        self.slots[guard.slot].store(e, Ordering::Release);
+        self.try_drain();
+    }
+
+    /// Bump the global epoch and return the *new* epoch value.
+    pub fn bump(&self) -> u64 {
+        self.current.fetch_add(1, Ordering::AcqRel) + 1
+    }
+
+    /// Bump the global epoch and register `action` to run once every thread
+    /// protected at the pre-bump epoch has moved on (i.e. the pre-bump epoch
+    /// is safe). Returns the new epoch.
+    pub fn bump_with(&self, action: impl FnOnce() + Send + 'static) -> u64 {
+        let prior = self.current.fetch_add(1, Ordering::AcqRel);
+        self.drains.lock().push(Drain {
+            epoch: prior,
+            action: Box::new(action),
+        });
+        self.try_drain();
+        prior + 1
+    }
+
+    /// The largest epoch `e` such that no thread is still protected at an
+    /// epoch `<= e`.
+    #[must_use]
+    pub fn safe_epoch(&self) -> u64 {
+        let mut min = self.current.load(Ordering::Acquire);
+        for slot in self.slots.iter() {
+            let v = slot.load(Ordering::Acquire);
+            if v != UNPROTECTED && v <= min {
+                min = v - 1;
+            }
+        }
+        min
+    }
+
+    /// Run any drain actions whose epoch is now safe.
+    pub fn try_drain(&self) {
+        if self.drains.lock().is_empty() {
+            return;
+        }
+        let safe = self.safe_epoch();
+        let mut ready = Vec::new();
+        {
+            let mut drains = self.drains.lock();
+            let mut i = 0;
+            while i < drains.len() {
+                if drains[i].epoch <= safe {
+                    ready.push(drains.swap_remove(i));
+                } else {
+                    i += 1;
+                }
+            }
+        }
+        for d in ready {
+            (d.action)();
+            self.drained.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// True if no thread is currently protected.
+    #[must_use]
+    pub fn quiescent(&self) -> bool {
+        self.slots
+            .iter()
+            .all(|s| s.load(Ordering::Acquire) == UNPROTECTED)
+    }
+}
+
+impl EpochGuard<'_> {
+    /// Refresh this guard's published epoch to the current global epoch.
+    pub fn refresh(&self) {
+        self.epoch.refresh(self);
+    }
+}
+
+impl Drop for EpochGuard<'_> {
+    fn drop(&mut self) {
+        self.epoch.slots[self.slot].store(UNPROTECTED, Ordering::Release);
+        self.epoch.try_drain();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicBool;
+    use std::sync::Arc;
+
+    #[test]
+    fn drain_fires_only_after_all_threads_pass() {
+        let epoch = LightEpoch::new(4);
+        let fired = Arc::new(AtomicBool::new(false));
+
+        let g1 = epoch.protect();
+        let g2 = epoch.protect();
+
+        let f = fired.clone();
+        epoch.bump_with(move || f.store(true, Ordering::SeqCst));
+        assert!(!fired.load(Ordering::SeqCst), "g1/g2 still in old epoch");
+
+        g1.refresh();
+        epoch.try_drain();
+        assert!(!fired.load(Ordering::SeqCst), "g2 still in old epoch");
+
+        g2.refresh();
+        epoch.try_drain();
+        assert!(fired.load(Ordering::SeqCst), "all threads advanced");
+    }
+
+    #[test]
+    fn drain_fires_on_drop() {
+        let epoch = LightEpoch::new(2);
+        let fired = Arc::new(AtomicBool::new(false));
+        let g = epoch.protect();
+        let f = fired.clone();
+        epoch.bump_with(move || f.store(true, Ordering::SeqCst));
+        assert!(!fired.load(Ordering::SeqCst));
+        drop(g);
+        assert!(fired.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn drain_fires_immediately_when_quiescent() {
+        let epoch = LightEpoch::new(2);
+        let fired = Arc::new(AtomicBool::new(false));
+        let f = fired.clone();
+        epoch.bump_with(move || f.store(true, Ordering::SeqCst));
+        assert!(fired.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn safe_epoch_tracks_min_protected() {
+        let epoch = LightEpoch::new(4);
+        let g = epoch.protect(); // protected at epoch 1
+        epoch.bump(); // current = 2
+        epoch.bump(); // current = 3
+        assert_eq!(epoch.safe_epoch(), 0, "g pins epoch 1");
+        g.refresh(); // now at 3
+        assert_eq!(epoch.safe_epoch(), 2);
+        drop(g);
+        assert_eq!(epoch.safe_epoch(), 3);
+    }
+
+    #[test]
+    fn concurrent_protect_refresh() {
+        let epoch = Arc::new(LightEpoch::new(32));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let ep = epoch.clone();
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..1000 {
+                    let g = ep.protect();
+                    g.refresh();
+                    drop(g);
+                }
+            }));
+        }
+        let counter = Arc::new(AtomicU64::new(0));
+        for _ in 0..50 {
+            let c = counter.clone();
+            epoch.bump_with(move || {
+                c.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        epoch.try_drain();
+        assert_eq!(counter.load(Ordering::SeqCst), 50);
+        assert_eq!(epoch.drained_count(), 50);
+    }
+}

@@ -1,0 +1,154 @@
+//! Checkpoint manifests and per-session commit points.
+
+use dpr_core::{DprError, Result, SessionId, Version};
+use dpr_storage::BlobStore;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Where a session's prefix stood when a version was sealed.
+///
+/// Under relaxed CPR (§5.4), the recovered prefix for a session is "all
+/// operations with serial below `serial`, *except* those listed in
+/// `exceptions`" — the PENDING operations that had been issued but not yet
+/// resolved when the version boundary passed (Fig. 7's missing op 11).
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct CommitPoint {
+    /// Exclusive upper bound of committed serial numbers.
+    pub serial: u64,
+    /// Serial numbers below `serial` that are NOT included (unresolved
+    /// PENDING operations at the boundary).
+    pub exceptions: Vec<u64>,
+}
+
+/// Durable description of one checkpoint, stored in the blob store.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CheckpointManifest {
+    /// Version this checkpoint commits.
+    pub version: Version,
+    /// Record address one past the last record included.
+    pub until_address: u64,
+    /// Version ranges `(lo, hi]` that have been rolled back and must never
+    /// be recovered.
+    pub purged: Vec<(Version, Version)>,
+    /// Per-session commit points at this version boundary.
+    pub commit_points: BTreeMap<SessionId, CommitPoint>,
+    /// For snapshot-mode checkpoints: the blob holding the full state image
+    /// (fold-over checkpoints recover from the log instead).
+    #[serde(default)]
+    pub snapshot_blob: Option<String>,
+    /// Device offset at which this log incarnation's address 0 begins.
+    #[serde(default)]
+    pub device_scan_base: u64,
+}
+
+impl CheckpointManifest {
+    /// Blob name for a version's manifest.
+    #[must_use]
+    pub fn blob_name(version: Version) -> String {
+        format!("chkpt-{:020}", version.0)
+    }
+
+    /// Persist the manifest.
+    pub fn write_to(&self, blobs: &dyn BlobStore) -> Result<()> {
+        let data = serde_json::to_vec(self)
+            .map_err(|e| DprError::Storage(format!("manifest encode: {e}")))?;
+        blobs.put(&Self::blob_name(self.version), &data)
+    }
+
+    /// Load the manifest for `version`, if present.
+    pub fn read_from(blobs: &dyn BlobStore, version: Version) -> Result<Option<Self>> {
+        match blobs.get(&Self::blob_name(version))? {
+            Some(data) => {
+                let m = serde_json::from_slice(&data)
+                    .map_err(|e| DprError::Storage(format!("manifest decode: {e}")))?;
+                Ok(Some(m))
+            }
+            None => Ok(None),
+        }
+    }
+
+    /// The latest manifest at or below `at_most` (used by `Restore`).
+    pub fn latest(blobs: &dyn BlobStore, at_most: Option<Version>) -> Result<Option<Self>> {
+        let names = blobs.list("chkpt-")?;
+        for name in names.iter().rev() {
+            let v: u64 = name
+                .trim_start_matches("chkpt-")
+                .parse()
+                .map_err(|_| DprError::Storage(format!("bad manifest name {name}")))?;
+            if at_most.is_none_or(|m| Version(v) <= m) {
+                return Self::read_from(blobs, Version(v));
+            }
+        }
+        Ok(None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpr_storage::MemBlobStore;
+
+    fn manifest(v: u64) -> CheckpointManifest {
+        CheckpointManifest {
+            version: Version(v),
+            until_address: v * 100,
+            purged: vec![(Version(1), Version(2))],
+            commit_points: BTreeMap::from([(
+                SessionId(1),
+                CommitPoint {
+                    serial: 10,
+                    exceptions: vec![7],
+                },
+            )]),
+            snapshot_blob: None,
+            device_scan_base: 0,
+        }
+    }
+
+    #[test]
+    fn write_read_round_trip() {
+        let blobs = MemBlobStore::new();
+        let m = manifest(3);
+        m.write_to(&blobs).unwrap();
+        let back = CheckpointManifest::read_from(&blobs, Version(3))
+            .unwrap()
+            .unwrap();
+        assert_eq!(back, m);
+        assert!(CheckpointManifest::read_from(&blobs, Version(4))
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn latest_finds_newest_at_or_below_bound() {
+        let blobs = MemBlobStore::new();
+        for v in [1, 3, 7] {
+            manifest(v).write_to(&blobs).unwrap();
+        }
+        assert_eq!(
+            CheckpointManifest::latest(&blobs, None)
+                .unwrap()
+                .unwrap()
+                .version,
+            Version(7)
+        );
+        assert_eq!(
+            CheckpointManifest::latest(&blobs, Some(Version(5)))
+                .unwrap()
+                .unwrap()
+                .version,
+            Version(3)
+        );
+        assert!(CheckpointManifest::latest(&blobs, Some(Version::ZERO))
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn blob_names_sort_numerically() {
+        // Zero padding makes lexicographic order equal numeric order.
+        assert!(
+            CheckpointManifest::blob_name(Version(2)) < CheckpointManifest::blob_name(Version(10))
+        );
+    }
+}

@@ -1,0 +1,277 @@
+//! Log records.
+//!
+//! A record is one version of one key. Records are reachable through the
+//! hash index (bucket head → `prev` chain) and live at a logical address in
+//! the [`crate::log::RecordLog`]. The metadata word packs the CPR version
+//! with tombstone/invalid flags so rollback can invalidate records with a
+//! single atomic store and readers can filter with a single atomic load.
+
+use dpr_core::{Key, Value, Version};
+use parking_lot::RwLock;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Sentinel logical address meaning "no previous record".
+pub const NONE_ADDRESS: u64 = u64::MAX;
+
+const VERSION_MASK: u64 = (1 << 48) - 1;
+const TOMBSTONE_BIT: u64 = 1 << 62;
+const INVALID_BIT: u64 = 1 << 63;
+
+/// Decoded view of a record's metadata word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecordMeta {
+    /// CPR version the record was written in.
+    pub version: Version,
+    /// True if the record is a delete marker.
+    pub tombstone: bool,
+    /// True if the record was invalidated by a rollback (§5.5 PURGE).
+    pub invalid: bool,
+}
+
+impl RecordMeta {
+    fn pack(self) -> u64 {
+        let mut w = self.version.0 & VERSION_MASK;
+        if self.tombstone {
+            w |= TOMBSTONE_BIT;
+        }
+        if self.invalid {
+            w |= INVALID_BIT;
+        }
+        w
+    }
+
+    fn unpack(w: u64) -> Self {
+        RecordMeta {
+            version: Version(w & VERSION_MASK),
+            tombstone: w & TOMBSTONE_BIT != 0,
+            invalid: w & INVALID_BIT != 0,
+        }
+    }
+}
+
+/// One record in the HybridLog.
+///
+/// `value` sits behind a lightweight rwlock: in-place updates in the mutable
+/// region take the write lock for the duration of the copy, and the flusher
+/// takes the read lock while serializing — giving torn-write-free fold-over
+/// checkpoints without stopping writers globally.
+pub struct Record {
+    key: Key,
+    value: RwLock<Value>,
+    meta: AtomicU64,
+    prev: AtomicU64,
+    address: u64,
+}
+
+impl Record {
+    /// Create a record at `address` written in `version`.
+    #[must_use]
+    pub fn new(key: Key, value: Value, version: Version, address: u64, tombstone: bool) -> Self {
+        Record {
+            key,
+            value: RwLock::new(value),
+            meta: AtomicU64::new(
+                RecordMeta {
+                    version,
+                    tombstone,
+                    invalid: false,
+                }
+                .pack(),
+            ),
+            prev: AtomicU64::new(NONE_ADDRESS),
+            address,
+        }
+    }
+
+    /// The record's key.
+    #[must_use]
+    pub fn key(&self) -> &Key {
+        &self.key
+    }
+
+    /// The record's logical address.
+    #[must_use]
+    pub fn address(&self) -> u64 {
+        self.address
+    }
+
+    /// Snapshot the current value.
+    #[must_use]
+    pub fn read_value(&self) -> Value {
+        self.value.read().clone()
+    }
+
+    /// Replace the value in place (caller must have verified the CPR
+    /// in-place-update rules).
+    pub fn write_value(&self, v: Value) {
+        *self.value.write() = v;
+    }
+
+    /// Read-modify-write the value in place under the write lock, so the
+    /// read and write are atomic with respect to other updaters.
+    pub fn modify_value(&self, f: impl FnOnce(&Value) -> Value) {
+        let mut guard = self.value.write();
+        let new = f(&guard);
+        *guard = new;
+    }
+
+    /// Decoded metadata.
+    #[must_use]
+    pub fn meta(&self) -> RecordMeta {
+        RecordMeta::unpack(self.meta.load(Ordering::Acquire))
+    }
+
+    /// Mark the record invalid (rollback PURGE). Idempotent.
+    pub fn invalidate(&self) {
+        self.meta.fetch_or(INVALID_BIT, Ordering::AcqRel);
+    }
+
+    /// Previous record in this hash chain, or [`NONE_ADDRESS`].
+    #[must_use]
+    pub fn prev(&self) -> u64 {
+        self.prev.load(Ordering::Acquire)
+    }
+
+    /// Set the chain predecessor. Only called by the inserting thread before
+    /// the record is published in its bucket.
+    pub fn set_prev(&self, prev: u64) {
+        self.prev.store(prev, Ordering::Release);
+    }
+
+    /// Serialized byte size (for flush accounting).
+    #[must_use]
+    pub fn serialized_len(&self) -> usize {
+        8 + 8 + 8 + 4 + 4 + self.key.len() + self.value.read().len()
+    }
+
+    /// Serialize into `out` for the durable log.
+    ///
+    /// Layout: `address u64 | meta u64 | prev u64 | key_len u32 | value_len
+    /// u32 | key | value`, all little-endian. `prev` is written so hash
+    /// chains can be traversed across the disk portion of the log. The value
+    /// is snapshotted under its read lock so flush never observes a torn
+    /// write.
+    pub fn serialize_into(&self, out: &mut Vec<u8>) {
+        let value = self.value.read();
+        out.extend_from_slice(&self.address.to_le_bytes());
+        out.extend_from_slice(&self.meta.load(Ordering::Acquire).to_le_bytes());
+        out.extend_from_slice(&self.prev.load(Ordering::Acquire).to_le_bytes());
+        out.extend_from_slice(&(self.key.len() as u32).to_le_bytes());
+        out.extend_from_slice(&(value.len() as u32).to_le_bytes());
+        out.extend_from_slice(self.key.as_bytes());
+        out.extend_from_slice(value.as_bytes());
+    }
+
+    /// Deserialize a record from `buf`, returning the record and bytes
+    /// consumed, or `None` if `buf` is truncated.
+    #[must_use]
+    pub fn deserialize(buf: &[u8]) -> Option<(Record, usize)> {
+        if buf.len() < 32 {
+            return None;
+        }
+        let address = u64::from_le_bytes(buf[0..8].try_into().unwrap());
+        let meta_word = u64::from_le_bytes(buf[8..16].try_into().unwrap());
+        let prev = u64::from_le_bytes(buf[16..24].try_into().unwrap());
+        let key_len = u32::from_le_bytes(buf[24..28].try_into().unwrap()) as usize;
+        let val_len = u32::from_le_bytes(buf[28..32].try_into().unwrap()) as usize;
+        let total = 32 + key_len + val_len;
+        if buf.len() < total {
+            return None;
+        }
+        let key = Key(bytes::Bytes::copy_from_slice(&buf[32..32 + key_len]));
+        let value = Value(bytes::Bytes::copy_from_slice(
+            &buf[32 + key_len..32 + key_len + val_len],
+        ));
+        let meta = RecordMeta::unpack(meta_word);
+        let rec = Record::new(key, value, meta.version, address, meta.tombstone);
+        rec.set_prev(prev);
+        if meta.invalid {
+            rec.invalidate();
+        }
+        Some((rec, total))
+    }
+}
+
+impl std::fmt::Debug for Record {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Record")
+            .field("key", &self.key)
+            .field("address", &self.address)
+            .field("meta", &self.meta())
+            .field("prev", &self.prev())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn meta_packs_and_unpacks() {
+        for (ts, inv) in [(false, false), (true, false), (false, true), (true, true)] {
+            let m = RecordMeta {
+                version: Version(123_456),
+                tombstone: ts,
+                invalid: inv,
+            };
+            assert_eq!(RecordMeta::unpack(m.pack()), m);
+        }
+    }
+
+    #[test]
+    fn invalidate_is_sticky_and_preserves_version() {
+        let r = Record::new(Key::from_u64(1), Value::from_u64(2), Version(7), 0, false);
+        r.invalidate();
+        r.invalidate();
+        let m = r.meta();
+        assert!(m.invalid);
+        assert_eq!(m.version, Version(7));
+        assert!(!m.tombstone);
+    }
+
+    #[test]
+    fn serialize_round_trip() {
+        let r = Record::new(
+            Key::from("some-key"),
+            Value::from("some-value"),
+            Version(9),
+            42,
+            true,
+        );
+        let mut buf = Vec::new();
+        r.serialize_into(&mut buf);
+        assert_eq!(buf.len(), r.serialized_len());
+        let (back, used) = Record::deserialize(&buf).unwrap();
+        assert_eq!(used, buf.len());
+        assert_eq!(back.key(), r.key());
+        assert_eq!(back.read_value(), r.read_value());
+        assert_eq!(back.meta(), r.meta());
+        assert_eq!(back.address(), 42);
+    }
+
+    #[test]
+    fn deserialize_rejects_truncation() {
+        let r = Record::new(Key::from_u64(1), Value::from_u64(2), Version(1), 0, false);
+        let mut buf = Vec::new();
+        r.serialize_into(&mut buf);
+        for cut in [0, 10, buf.len() - 1] {
+            assert!(Record::deserialize(&buf[..cut]).is_none());
+        }
+    }
+
+    #[test]
+    fn modify_value_is_atomic_read_modify_write() {
+        let r = Record::new(Key::from_u64(1), Value::from_u64(0), Version(1), 0, false);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..1000 {
+                        r.modify_value(|v| Value::from_u64(v.as_u64().unwrap() + 1));
+                    }
+                });
+            }
+        });
+        assert_eq!(r.read_value().as_u64(), Some(4000));
+    }
+}

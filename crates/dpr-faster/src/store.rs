@@ -1,0 +1,1272 @@
+//! The FASTER-style key-value store with CPR checkpoints and non-blocking
+//! rollback.
+//!
+//! Threads (sessions) coordinate loosely through the global
+//! [`SystemState`]: each op refreshes the session's observed state, and the
+//! checkpoint / rollback machines advance when every session has observed
+//! the current phase. Idle sessions are advanced *on their behalf* (their
+//! per-session lock is taken by the advancer), so a dormant session never
+//! blocks a commit — the store-level half of relaxed CPR (§5.4).
+
+use crate::checkpoint::{CheckpointManifest, CommitPoint};
+use crate::index::HashIndex;
+use crate::log::{RecordLog, RecordRef};
+use crate::record::{Record, NONE_ADDRESS};
+use crate::session::{
+    CompletedOp, OpOutcome, PendingKind, PendingOp, PendingToken, RmwFn, Session, SessionCore,
+    SessionShared,
+};
+use crate::state::{GlobalState, Phase, SystemState};
+use dpr_core::{DprError, Key, Result, SessionId, Value, Version};
+use dpr_storage::{BlobStore, LogDevice};
+use parking_lot::{Mutex, RwLock};
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Weak};
+use std::time::Duration;
+
+/// Store configuration.
+#[derive(Debug, Clone)]
+pub struct FasterConfig {
+    /// Minimum hash-index buckets (rounded up to a power of two).
+    pub index_buckets: usize,
+    /// Records kept resident before eviction to the device begins.
+    pub memory_budget_records: usize,
+    /// Spawn a background maintenance thread that drives flushes, purges and
+    /// state-machine progress. Disable for deterministic unit tests that
+    /// call [`FasterKv::tick`] manually.
+    pub auto_maintenance: bool,
+    /// How checkpoints capture state: fold-over (the paper's evaluation
+    /// mode) or full snapshot.
+    pub checkpoint_mode: dpr_core::CheckpointMode,
+    /// Strict CPR (§5.4): operations that would go PENDING resolve
+    /// synchronously instead, so the prefix guarantee has no exception
+    /// lists. Default is relaxed, as in FASTER.
+    pub strict_cpr: bool,
+    /// Bound on unflushed records (HybridLog's volatile region). When set,
+    /// the maintenance thread rolls the read-only boundary and flushes
+    /// continuously, and appends beyond the bound stall until the device
+    /// catches up — making device speed throughput-relevant, as in real
+    /// FASTER. `None` = unbounded (no backpressure).
+    pub unflushed_limit_records: Option<u64>,
+    /// Simulated latency of one device read (records below the head).
+    /// Strict CPR pays it per operation; relaxed CPR pays it once per
+    /// `complete_pending` batch, modeling FASTER's concurrent I/O issue.
+    /// `None` = instantaneous reads.
+    pub simulated_read_latency: Option<Duration>,
+}
+
+impl Default for FasterConfig {
+    fn default() -> Self {
+        FasterConfig {
+            index_buckets: 1 << 16,
+            memory_budget_records: 1 << 22,
+            auto_maintenance: true,
+            checkpoint_mode: dpr_core::CheckpointMode::FoldOver,
+            strict_cpr: false,
+            unflushed_limit_records: None,
+            simulated_read_latency: None,
+        }
+    }
+}
+
+/// A completed checkpoint, surfaced to the DPR layer.
+#[derive(Debug, Clone)]
+pub struct CheckpointInfo {
+    /// The version this checkpoint committed.
+    pub version: Version,
+    /// One past the last record address captured.
+    pub until_address: u64,
+    /// Per-session commit points at the version boundary.
+    pub commit_points: BTreeMap<SessionId, CommitPoint>,
+}
+
+#[derive(Debug)]
+enum Request {
+    Checkpoint { target: Option<Version> },
+    Rollback { v_safe: Version },
+}
+
+#[derive(Debug, Clone, Copy)]
+enum MachineKind {
+    /// Committing `commit_version`; ops move to `target`.
+    Checkpoint {
+        commit_version: Version,
+        target: Version,
+    },
+    /// Discarding `(v_safe, v_lost]`; ops move to `v_lost + 1`.
+    Rollback { v_safe: Version, v_lost: Version },
+}
+
+struct MachineCtx {
+    kind: MachineKind,
+    /// Fold-over capture boundary, set at the `InProgress → WaitFlush`
+    /// transition.
+    until_address: Option<u64>,
+    /// For snapshot-mode checkpoints: blob name once written.
+    snapshot_blob: Option<String>,
+}
+
+/// Version-boundary capture state, consulted by sessions as they cross.
+enum BoundaryKind {
+    Checkpoint,
+    Rollback,
+}
+
+struct Boundary {
+    kind: BoundaryKind,
+    points: BTreeMap<SessionId, CommitPoint>,
+}
+
+/// The store. Construct with [`FasterKv::new`] or [`FasterKv::recover`];
+/// interact through [`Session`]s.
+///
+/// ```
+/// use dpr_core::{Key, SessionId, Value, Version};
+/// use dpr_faster::{FasterConfig, FasterKv};
+/// use dpr_storage::{MemBlobStore, MemLogDevice};
+/// use std::sync::Arc;
+/// use std::time::Duration;
+///
+/// let kv = FasterKv::new(
+///     FasterConfig::default(),
+///     Arc::new(MemLogDevice::null()),
+///     Arc::new(MemBlobStore::new()),
+/// );
+/// let session = kv.start_session(SessionId(1));
+/// session.upsert(Key::from_u64(1), Value::from_u64(42)).unwrap();
+/// // Commit() — a non-blocking fold-over checkpoint:
+/// kv.request_checkpoint(None);
+/// assert!(kv.wait_for_durable(Version(1), Duration::from_secs(5)));
+/// ```
+pub struct FasterKv {
+    config: FasterConfig,
+    index: HashIndex,
+    log: RecordLog,
+    blobs: Arc<dyn BlobStore>,
+    global: GlobalState,
+    machine: Mutex<Option<MachineCtx>>,
+    boundary: Mutex<Option<Boundary>>,
+    requests: Mutex<VecDeque<Request>>,
+    sessions: RwLock<HashMap<SessionId, Arc<SessionShared>>>,
+    purged: RwLock<Vec<(Version, Version)>>,
+    completed: Mutex<Vec<CheckpointInfo>>,
+    durable_version: AtomicU64,
+    recovered_manifest: Option<CheckpointManifest>,
+    /// Final commit points of sessions that have ended: carried into every
+    /// later manifest so a client can learn its surviving prefix even after
+    /// its server-side session closed.
+    departed: Mutex<BTreeMap<SessionId, CommitPoint>>,
+    shutdown: AtomicBool,
+}
+
+enum Find {
+    Found { value: Option<Value> },
+    OnDisk { addr: u64 },
+}
+
+impl FasterKv {
+    /// Create an empty store.
+    pub fn new(
+        config: FasterConfig,
+        device: Arc<dyn LogDevice>,
+        blobs: Arc<dyn BlobStore>,
+    ) -> Arc<FasterKv> {
+        let kv = Arc::new(FasterKv {
+            index: HashIndex::new(config.index_buckets),
+            log: RecordLog::new(device, config.memory_budget_records),
+            blobs,
+            global: GlobalState::new(),
+            machine: Mutex::new(None),
+            boundary: Mutex::new(None),
+            requests: Mutex::new(VecDeque::new()),
+            sessions: RwLock::new(HashMap::new()),
+            purged: RwLock::new(Vec::new()),
+            completed: Mutex::new(Vec::new()),
+            durable_version: AtomicU64::new(0),
+            recovered_manifest: None,
+            departed: Mutex::new(BTreeMap::new()),
+            shutdown: AtomicBool::new(false),
+            config,
+        });
+        if let Some(limit) = kv.config.unflushed_limit_records {
+            kv.log.set_unflushed_limit(limit);
+        }
+        if kv.config.auto_maintenance {
+            Self::spawn_maintenance(&kv);
+        }
+        kv
+    }
+
+    /// Recover a store from its durable log and the latest checkpoint
+    /// manifest at or below `at_most` (the shard's entry in the DPR cut).
+    pub fn recover(
+        config: FasterConfig,
+        device: Arc<dyn LogDevice>,
+        blobs: Arc<dyn BlobStore>,
+        at_most: Option<Version>,
+    ) -> Result<Arc<FasterKv>> {
+        let manifest = CheckpointManifest::latest(blobs.as_ref(), at_most)?;
+        let (version, until, purged, recovered_manifest) = match &manifest {
+            Some(m) => (
+                m.version,
+                m.until_address,
+                m.purged.clone(),
+                manifest.clone(),
+            ),
+            None => (Version::ZERO, 0, Vec::new(), None),
+        };
+        let index = HashIndex::new(config.index_buckets);
+        let log = match recovered_manifest
+            .as_ref()
+            .and_then(|m| m.snapshot_blob.as_deref())
+        {
+            Some(snapshot) => {
+                // Snapshot checkpoint: rebuild from the full state image;
+                // the log prefix (possibly garbage-collected) is dead, and
+                // future flushes land after the current device tail.
+                let base = device.tail();
+                let log = RecordLog::with_scan_base(device, config.memory_budget_records, base);
+                for (key, value) in Self::read_snapshot(blobs.as_ref(), snapshot)? {
+                    let rec = log.append(key, value, version, false);
+                    let head = index.head(rec.key());
+                    rec.set_prev(head);
+                    index.set_head(rec.key(), rec.address());
+                }
+                log
+            }
+            None => {
+                // Fold-over checkpoint: replay the durable log prefix from
+                // this incarnation's base.
+                let scan_from = recovered_manifest
+                    .as_ref()
+                    .map_or(0, |m| m.device_scan_base);
+                let (log, records) = RecordLog::recover(
+                    device,
+                    config.memory_budget_records,
+                    until,
+                    version,
+                    &purged,
+                    scan_from,
+                )?;
+                for rec in &records {
+                    if rec.meta().invalid {
+                        continue;
+                    }
+                    let head = index.head(rec.key());
+                    rec.set_prev(head);
+                    index.set_head(rec.key(), rec.address());
+                }
+                log
+            }
+        };
+        let global = GlobalState::new();
+        global.store(SystemState {
+            phase: Phase::Rest,
+            version: version.next().max(Version::FIRST),
+        });
+        let kv = Arc::new(FasterKv {
+            index,
+            log,
+            blobs,
+            global,
+            machine: Mutex::new(None),
+            boundary: Mutex::new(None),
+            requests: Mutex::new(VecDeque::new()),
+            sessions: RwLock::new(HashMap::new()),
+            purged: RwLock::new(purged),
+            completed: Mutex::new(Vec::new()),
+            durable_version: AtomicU64::new(version.0),
+            departed: Mutex::new(
+                recovered_manifest
+                    .as_ref()
+                    .map(|m| m.commit_points.clone())
+                    .unwrap_or_default(),
+            ),
+            recovered_manifest,
+            shutdown: AtomicBool::new(false),
+            config,
+        });
+        if let Some(limit) = kv.config.unflushed_limit_records {
+            kv.log.set_unflushed_limit(limit);
+        }
+        if kv.config.auto_maintenance {
+            Self::spawn_maintenance(&kv);
+        }
+        Ok(kv)
+    }
+
+    fn spawn_maintenance(kv: &Arc<FasterKv>) {
+        let weak: Weak<FasterKv> = Arc::downgrade(kv);
+        std::thread::Builder::new()
+            .name("faster-maint".into())
+            .spawn(move || loop {
+                let Some(kv) = weak.upgrade() else { return };
+                if kv.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                kv.tick();
+                kv.continuous_flush();
+                kv.log.maybe_evict();
+                drop(kv);
+                std::thread::sleep(Duration::from_micros(200));
+            })
+            .expect("spawn maintenance thread");
+    }
+
+    /// Stop the maintenance thread (idempotent). Sessions remain usable but
+    /// no further checkpoints complete automatically.
+    pub fn shutdown(&self) {
+        self.shutdown.store(true, Ordering::Release);
+    }
+
+    // ---------------------------------------------------------------- sessions
+
+    /// Open a session with the given globally unique id.
+    pub fn start_session(self: &Arc<Self>, id: SessionId) -> Session {
+        let shared = Arc::new(SessionShared::new(id, self.global.load()));
+        self.sessions.write().insert(id, shared.clone());
+        Session {
+            store: self.clone(),
+            shared,
+        }
+    }
+
+    pub(crate) fn drop_session(&self, shared: &Arc<SessionShared>) {
+        {
+            let mut core = shared.core.lock();
+            let global = self.global.load();
+            if core.observed != global {
+                self.apply_crossing(shared.id, &mut core, global);
+                core.observed = global;
+            }
+            // Record the session's final prefix so later checkpoints keep
+            // reporting it (a departed session's ops are all in versions at
+            // or below its departure version).
+            self.departed.lock().insert(
+                shared.id,
+                CommitPoint {
+                    serial: core.next_serial,
+                    exceptions: core.outstanding.keys().copied().collect(),
+                },
+            );
+        }
+        self.sessions.write().remove(&shared.id);
+    }
+
+    pub(crate) fn session_refresh(&self, shared: &Arc<SessionShared>) {
+        let mut core = shared.core.lock();
+        self.refresh_locked(shared.id, &mut core);
+        drop(core);
+        self.try_advance(false);
+    }
+
+    fn refresh_locked(&self, id: SessionId, core: &mut SessionCore) {
+        let global = self.global.load();
+        if core.observed != global {
+            self.apply_crossing(id, core, global);
+            core.observed = global;
+        }
+    }
+
+    /// Apply version-boundary side effects as a session's observed state
+    /// moves to `new`.
+    fn apply_crossing(&self, id: SessionId, core: &mut SessionCore, new: SystemState) {
+        if new.version <= core.observed.version {
+            return;
+        }
+        let mut boundary = self.boundary.lock();
+        if let Some(b) = boundary.as_mut() {
+            match b.kind {
+                BoundaryKind::Checkpoint => {
+                    b.points.entry(id).or_insert_with(|| CommitPoint {
+                        serial: core.next_serial,
+                        exceptions: core.outstanding.keys().copied().collect(),
+                    });
+                }
+                BoundaryKind::Rollback => {
+                    // PENDING ops issued before the failure are lost.
+                    let lost: Vec<u64> = core.outstanding.keys().copied().collect();
+                    core.outstanding.clear();
+                    core.lost.extend(lost);
+                }
+            }
+        }
+    }
+
+    /// True when every registered session has observed `target`, advancing
+    /// idle sessions on their behalf.
+    fn all_sessions_at(&self, target: SystemState) -> bool {
+        let sessions: Vec<Arc<SessionShared>> = self.sessions.read().values().cloned().collect();
+        for s in sessions {
+            let Some(mut core) = s.core.try_lock() else {
+                return false;
+            };
+            if core.observed != target {
+                self.apply_crossing(s.id, &mut core, target);
+                core.observed = target;
+            }
+        }
+        true
+    }
+
+    // ---------------------------------------------------------------- ops
+
+    fn is_purged(&self, v: Version) -> bool {
+        self.purged.read().iter().any(|&(lo, hi)| v > lo && v <= hi)
+    }
+
+    /// Walk the in-memory chain for `key` starting at its bucket head.
+    fn find_resident(&self, key: &Key) -> Result<Find> {
+        let mut addr = self.index.head(key);
+        loop {
+            if addr == NONE_ADDRESS {
+                return Ok(Find::Found { value: None });
+            }
+            match self.get_record_spin(addr)? {
+                RecordRef::Resident(rec) => {
+                    if rec.key() == key {
+                        let m = rec.meta();
+                        if m.invalid || self.is_purged(m.version) {
+                            addr = rec.prev();
+                            continue;
+                        }
+                        if m.tombstone {
+                            return Ok(Find::Found { value: None });
+                        }
+                        return Ok(Find::Found {
+                            value: Some(rec.read_value()),
+                        });
+                    }
+                    addr = rec.prev();
+                }
+                RecordRef::OnDisk => return Ok(Find::OnDisk { addr }),
+            }
+        }
+    }
+
+    /// `log.get` with a bounded spin for the publish window between address
+    /// allocation and slot store.
+    fn get_record_spin(&self, addr: u64) -> Result<RecordRef> {
+        for _ in 0..1024 {
+            match self.log.get(addr) {
+                Ok(r) => return Ok(r),
+                Err(_) => std::hint::spin_loop(),
+            }
+        }
+        self.log.get(addr)
+    }
+
+    /// Continue a chain walk below the in-memory region by reading records
+    /// from the device.
+    fn find_from_disk(&self, key: &Key, mut addr: u64) -> Result<Option<Value>> {
+        loop {
+            if addr == NONE_ADDRESS {
+                return Ok(None);
+            }
+            if addr >= self.log.head() {
+                // Walk climbed back into memory (possible after eviction
+                // races); restart resident walk from this address.
+                match self.get_record_spin(addr)? {
+                    RecordRef::Resident(rec) => {
+                        if rec.key() == key {
+                            let m = rec.meta();
+                            if !m.invalid && !self.is_purged(m.version) {
+                                return Ok(if m.tombstone {
+                                    None
+                                } else {
+                                    Some(rec.read_value())
+                                });
+                            }
+                        }
+                        addr = rec.prev();
+                        continue;
+                    }
+                    RecordRef::OnDisk => {}
+                }
+            }
+            let rec = self.log.read_from_device(addr)?;
+            if rec.key() == key {
+                let m = rec.meta();
+                if !m.invalid && !self.is_purged(m.version) {
+                    return Ok(if m.tombstone {
+                        None
+                    } else {
+                        Some(rec.read_value())
+                    });
+                }
+            }
+            addr = rec.prev();
+        }
+    }
+
+    /// Append a record and publish it at the head of `key`'s chain,
+    /// retrying the CAS as needed. Failed attempts are invalidated in place.
+    fn append_and_publish(
+        &self,
+        key: Key,
+        value: Value,
+        version: Version,
+        tombstone: bool,
+    ) -> Arc<Record> {
+        let rec = self.log.append(key, value, version, tombstone);
+        let mut expected = self.index.head(rec.key());
+        loop {
+            rec.set_prev(expected);
+            match self.index.try_publish(rec.key(), expected, rec.address()) {
+                Ok(()) => return rec,
+                Err(observed) => expected = observed,
+            }
+        }
+    }
+
+    /// Charge the configured device-read latency (one I/O round trip).
+    fn charge_read(&self) {
+        if let Some(d) = self.config.simulated_read_latency {
+            std::thread::sleep(d);
+        }
+    }
+
+    /// Whether `rec` may be updated in place by a session at `version`: the
+    /// CPR rule — same version, above the read-only boundary, live.
+    fn in_place_ok(&self, rec: &Record, version: Version) -> bool {
+        let m = rec.meta();
+        rec.address() >= self.log.read_only() && m.version == version && !m.tombstone && !m.invalid
+    }
+
+    /// Find the newest live record for `key` while it remains in memory;
+    /// returns the record if resident, or the disk handoff address.
+    fn find_resident_record(
+        &self,
+        key: &Key,
+    ) -> Result<std::result::Result<Option<Arc<Record>>, u64>> {
+        let mut addr = self.index.head(key);
+        loop {
+            if addr == NONE_ADDRESS {
+                return Ok(Ok(None));
+            }
+            match self.get_record_spin(addr)? {
+                RecordRef::Resident(rec) => {
+                    if rec.key() == key {
+                        let m = rec.meta();
+                        if m.invalid || self.is_purged(m.version) {
+                            addr = rec.prev();
+                            continue;
+                        }
+                        return Ok(Ok(Some(rec)));
+                    }
+                    addr = rec.prev();
+                }
+                RecordRef::OnDisk => return Ok(Err(addr)),
+            }
+        }
+    }
+
+    pub(crate) fn op_read(&self, shared: &Arc<SessionShared>, key: &Key) -> Result<OpOutcome> {
+        let mut core = shared.core.lock();
+        self.refresh_locked(shared.id, &mut core);
+        let version = core.observed.version;
+        let serial = core.next_serial;
+        core.next_serial += 1;
+        match self.find_resident(key)? {
+            Find::Found { value } => Ok(OpOutcome::Read {
+                value,
+                version,
+                serial,
+            }),
+            Find::OnDisk { addr } => {
+                if self.config.strict_cpr {
+                    // Strict CPR (§5.4): resolve the I/O inline so the
+                    // serial order is exactly the completion order — paying
+                    // a full I/O round trip per operation.
+                    self.charge_read();
+                    let value = self.find_from_disk(key, addr)?;
+                    return Ok(OpOutcome::Read {
+                        value,
+                        version,
+                        serial,
+                    });
+                }
+                core.outstanding.insert(
+                    serial,
+                    PendingOp {
+                        key: key.clone(),
+                        kind: PendingKind::Read,
+                        addr,
+                    },
+                );
+                Ok(OpOutcome::Pending(PendingToken { serial }))
+            }
+        }
+    }
+
+    pub(crate) fn op_upsert(
+        &self,
+        shared: &Arc<SessionShared>,
+        key: Key,
+        value: Value,
+    ) -> Result<OpOutcome> {
+        let mut core = shared.core.lock();
+        self.refresh_locked(shared.id, &mut core);
+        let version = core.observed.version;
+        let serial = core.next_serial;
+        core.next_serial += 1;
+        // Try in-place against the newest resident record for this key;
+        // otherwise append (blind upserts never need the disk).
+        if let Ok(Ok(Some(rec))) = self.find_resident_record(&key) {
+            if self.in_place_ok(&rec, version) {
+                rec.write_value(value);
+                return Ok(OpOutcome::Mutated { version, serial });
+            }
+        }
+        self.append_and_publish(key, value, version, false);
+        Ok(OpOutcome::Mutated { version, serial })
+    }
+
+    pub(crate) fn op_delete(&self, shared: &Arc<SessionShared>, key: Key) -> Result<OpOutcome> {
+        let mut core = shared.core.lock();
+        self.refresh_locked(shared.id, &mut core);
+        let version = core.observed.version;
+        let serial = core.next_serial;
+        core.next_serial += 1;
+        self.append_and_publish(key, Value(bytes::Bytes::new()), version, true);
+        Ok(OpOutcome::Mutated { version, serial })
+    }
+
+    pub(crate) fn op_rmw(
+        &self,
+        shared: &Arc<SessionShared>,
+        key: Key,
+        f: RmwFn,
+    ) -> Result<OpOutcome> {
+        let mut core = shared.core.lock();
+        self.refresh_locked(shared.id, &mut core);
+        let version = core.observed.version;
+        let serial = core.next_serial;
+        core.next_serial += 1;
+        match self.rmw_attempt(&key, &f, version)? {
+            Some(()) => Ok(OpOutcome::Mutated { version, serial }),
+            None => {
+                if self.config.strict_cpr {
+                    self.charge_read();
+                    self.resolve_rmw_from_disk(&key, &f, version)?;
+                    return Ok(OpOutcome::Mutated { version, serial });
+                }
+                core.outstanding.insert(
+                    serial,
+                    PendingOp {
+                        key,
+                        kind: PendingKind::Rmw(f),
+                        addr: 0,
+                    },
+                );
+                Ok(OpOutcome::Pending(PendingToken { serial }))
+            }
+        }
+    }
+
+    /// Resolve an RMW whose chain leads to the device, synchronously.
+    fn resolve_rmw_from_disk(&self, key: &Key, f: &RmwFn, version: Version) -> Result<()> {
+        loop {
+            match self.rmw_attempt(key, f, version)? {
+                Some(()) => return Ok(()),
+                None => {
+                    let addr = match self.find_resident(key)? {
+                        Find::OnDisk { addr } => addr,
+                        Find::Found { .. } => continue,
+                    };
+                    let old = self.find_from_disk(key, addr)?;
+                    let new = f(old.as_ref());
+                    if self.rcu_publish(key, new, version) {
+                        return Ok(());
+                    }
+                }
+            }
+        }
+    }
+
+    /// One RMW attempt against resident state; `None` means the chain went
+    /// to disk and the op must go PENDING.
+    fn rmw_attempt(&self, key: &Key, f: &RmwFn, version: Version) -> Result<Option<()>> {
+        loop {
+            match self.find_resident_record(key)? {
+                Ok(Some(rec)) => {
+                    let m = rec.meta();
+                    if self.in_place_ok(&rec, version) {
+                        rec.modify_value(|v| f(Some(v)));
+                        return Ok(Some(()));
+                    }
+                    let old = if m.tombstone {
+                        None
+                    } else {
+                        Some(rec.read_value())
+                    };
+                    let new = f(old.as_ref());
+                    if self.rcu_publish(key, new, version) {
+                        return Ok(Some(()));
+                    }
+                    // Chain head changed under us; retry from the top.
+                }
+                Ok(None) => {
+                    let new = f(None);
+                    if self.rcu_publish(key, new, version) {
+                        return Ok(Some(()));
+                    }
+                }
+                Err(_disk_addr) => return Ok(None),
+            }
+        }
+    }
+
+    /// Publish an RCU record if the chain head is unchanged; on failure the
+    /// garbage record is invalidated and the caller retries.
+    fn rcu_publish(&self, key: &Key, value: Value, version: Version) -> bool {
+        let expected = self.index.head(key);
+        let rec = self.log.append(key.clone(), value, version, false);
+        rec.set_prev(expected);
+        match self.index.try_publish(key, expected, rec.address()) {
+            Ok(()) => true,
+            Err(_) => {
+                rec.invalidate();
+                false
+            }
+        }
+    }
+
+    pub(crate) fn op_complete_pending(
+        &self,
+        shared: &Arc<SessionShared>,
+    ) -> Result<Vec<CompletedOp>> {
+        let mut core = shared.core.lock();
+        self.refresh_locked(shared.id, &mut core);
+        let version = core.observed.version;
+        let mut out = Vec::new();
+        for serial in core.lost.drain(..) {
+            out.push(CompletedOp {
+                serial,
+                value: None,
+                version,
+                lost: true,
+            });
+        }
+        let pending: Vec<(u64, PendingOp)> =
+            std::mem::take(&mut core.outstanding).into_iter().collect();
+        if !pending.is_empty() {
+            // Relaxed CPR issues the batched I/Os concurrently; the batch
+            // completes in ~one device round trip.
+            self.charge_read();
+        }
+        for (serial, op) in pending {
+            match op.kind {
+                PendingKind::Read => {
+                    // Re-check memory first (the key may have been written
+                    // since), then chase the chain through the device.
+                    let value = match self.find_resident(&op.key)? {
+                        Find::Found { value } => value,
+                        Find::OnDisk { addr } => self.find_from_disk(&op.key, addr)?,
+                    };
+                    out.push(CompletedOp {
+                        serial,
+                        value,
+                        version,
+                        lost: false,
+                    });
+                }
+                PendingKind::Rmw(f) => {
+                    self.resolve_rmw_from_disk(&op.key, &f, version)?;
+                    out.push(CompletedOp {
+                        serial,
+                        value: None,
+                        version,
+                        lost: false,
+                    });
+                }
+            }
+        }
+        out.sort_by_key(|c| c.serial);
+        Ok(out)
+    }
+
+    // ---------------------------------------------------------------- control
+
+    /// Request a checkpoint (the `Commit()` of the StateObject API). If
+    /// `target` is given, operations fast-forward to at least that version
+    /// afterwards (§3.4 `Vmax` catch-up). Returns false if a machine or
+    /// request is already queued.
+    pub fn request_checkpoint(&self, target: Option<Version>) -> bool {
+        // Check the machine first and drop its guard before touching the
+        // request queue: `try_advance` acquires machine → requests, so
+        // holding requests while waiting on machine would deadlock.
+        if self.machine.lock().is_some() {
+            return false;
+        }
+        let mut reqs = self.requests.lock();
+        if !reqs.is_empty() {
+            return false;
+        }
+        reqs.push_back(Request::Checkpoint { target });
+        true
+    }
+
+    /// Request a rollback of all versions above `v_safe` (the `Restore()`
+    /// of the StateObject API, non-blocking per §5.5).
+    pub fn request_rollback(&self, v_safe: Version) {
+        self.requests.lock().push_back(Request::Rollback { v_safe });
+    }
+
+    /// Drive the state machine one step, performing heavy work (flush,
+    /// purge) inline. The maintenance thread calls this continuously;
+    /// deterministic tests call it manually.
+    pub fn tick(&self) {
+        self.try_advance(true);
+    }
+
+    /// With a bounded volatile region, roll the read-only boundary and
+    /// flush sealed pages continuously (real FASTER flushes closed pages as
+    /// the tail advances, not only at checkpoints). Safe because records
+    /// below the read-only boundary are never updated in place.
+    pub fn continuous_flush(&self) {
+        let Some(limit) = self.config.unflushed_limit_records else {
+            return;
+        };
+        let target = self.log.tail().saturating_sub(limit / 2);
+        self.log.advance_read_only(target);
+        let read_only = self.log.read_only();
+        if self.log.flushed() < read_only {
+            let _ = self.log.flush_until(read_only);
+        }
+    }
+
+    /// Version of the latest durable checkpoint.
+    #[must_use]
+    pub fn durable_version(&self) -> Version {
+        Version(self.durable_version.load(Ordering::Acquire))
+    }
+
+    /// Version operations currently execute in.
+    #[must_use]
+    pub fn current_version(&self) -> Version {
+        self.global.load().version
+    }
+
+    /// Current phase (for tests and metrics).
+    #[must_use]
+    pub fn current_phase(&self) -> Phase {
+        self.global.load().phase
+    }
+
+    /// Drain completed checkpoints since the last call.
+    #[must_use]
+    pub fn take_completed_checkpoints(&self) -> Vec<CheckpointInfo> {
+        std::mem::take(&mut *self.completed.lock())
+    }
+
+    /// The manifest this store was recovered from, if any.
+    #[must_use]
+    pub fn recovered_manifest(&self) -> Option<&CheckpointManifest> {
+        self.recovered_manifest.as_ref()
+    }
+
+    /// Block until `version` is durable, ticking the machine. Returns false
+    /// on timeout.
+    pub fn wait_for_durable(&self, version: Version, timeout: Duration) -> bool {
+        let start = std::time::Instant::now();
+        while self.durable_version() < version {
+            self.tick();
+            if start.elapsed() > timeout {
+                return false;
+            }
+            std::thread::yield_now();
+        }
+        true
+    }
+
+    fn try_advance(&self, heavy: bool) {
+        let Some(mut machine) = self.machine.try_lock() else {
+            return;
+        };
+        let state = self.global.load();
+        match state.phase {
+            Phase::Rest => {
+                let req = self.requests.lock().pop_front();
+                match req {
+                    None => {}
+                    Some(Request::Checkpoint { target }) => {
+                        let commit_version = state.version;
+                        let target = target.unwrap_or(Version::ZERO).max(commit_version.next());
+                        *machine = Some(MachineCtx {
+                            kind: MachineKind::Checkpoint {
+                                commit_version,
+                                target,
+                            },
+                            until_address: None,
+                            snapshot_blob: None,
+                        });
+                        *self.boundary.lock() = Some(Boundary {
+                            kind: BoundaryKind::Checkpoint,
+                            points: BTreeMap::new(),
+                        });
+                        self.global.store(SystemState {
+                            phase: Phase::Prepare,
+                            version: commit_version,
+                        });
+                    }
+                    Some(Request::Rollback { v_safe }) => {
+                        let v_lost = state.version;
+                        if v_safe >= v_lost {
+                            // Nothing beyond the safe point exists.
+                            return;
+                        }
+                        self.purged.write().push((v_safe, v_lost));
+                        *machine = Some(MachineCtx {
+                            kind: MachineKind::Rollback { v_safe, v_lost },
+                            until_address: None,
+                            snapshot_blob: None,
+                        });
+                        *self.boundary.lock() = Some(Boundary {
+                            kind: BoundaryKind::Rollback,
+                            points: BTreeMap::new(),
+                        });
+                        self.global.store(SystemState {
+                            phase: Phase::Throw,
+                            version: v_lost.next(),
+                        });
+                    }
+                }
+            }
+            Phase::Prepare => {
+                if self.all_sessions_at(state) {
+                    let Some(ctx) = machine.as_ref() else { return };
+                    let MachineKind::Checkpoint { target, .. } = ctx.kind else {
+                        return;
+                    };
+                    self.global.store(SystemState {
+                        phase: Phase::InProgress,
+                        version: target,
+                    });
+                }
+            }
+            Phase::InProgress => {
+                if self.all_sessions_at(state) {
+                    let Some(ctx) = machine.as_mut() else { return };
+                    // All sessions are in the new version: the old version's
+                    // records all sit below the current tail. Seal it.
+                    ctx.until_address = Some(self.log.seal_to_tail());
+                    self.global.store(SystemState {
+                        phase: Phase::WaitFlush,
+                        version: state.version,
+                    });
+                }
+            }
+            Phase::WaitFlush => {
+                let Some(ctx) = machine.as_mut() else { return };
+                let until = ctx.until_address.expect("sealed before WaitFlush");
+                let MachineKind::Checkpoint {
+                    commit_version,
+                    target,
+                } = ctx.kind
+                else {
+                    return;
+                };
+                let capture_done = match self.config.checkpoint_mode {
+                    dpr_core::CheckpointMode::FoldOver => {
+                        if heavy && self.log.flushed() < until {
+                            if let Err(e) = self.log.flush_until(until) {
+                                // Flush failures leave the machine parked;
+                                // retried next tick.
+                                debug_assert!(false, "flush failed: {e}");
+                                return;
+                            }
+                        }
+                        self.log.flushed() >= until
+                    }
+                    dpr_core::CheckpointMode::Snapshot => {
+                        if ctx.snapshot_blob.is_none() && heavy {
+                            // Full state image of everything at or below the
+                            // committing version.
+                            match self.write_snapshot(commit_version) {
+                                Ok(name) => ctx.snapshot_blob = Some(name),
+                                Err(e) => {
+                                    debug_assert!(false, "snapshot failed: {e}");
+                                    return;
+                                }
+                            }
+                        }
+                        ctx.snapshot_blob.is_some()
+                    }
+                };
+                if capture_done {
+                    let snapshot_blob = ctx.snapshot_blob.take();
+                    let mut points = self
+                        .boundary
+                        .lock()
+                        .take()
+                        .map(|b| b.points)
+                        .unwrap_or_default();
+                    // Departed sessions keep their final prefix in every
+                    // later manifest.
+                    for (id, cp) in self.departed.lock().iter() {
+                        points.entry(*id).or_insert_with(|| cp.clone());
+                    }
+                    let manifest = CheckpointManifest {
+                        version: commit_version,
+                        until_address: until,
+                        purged: self.purged.read().clone(),
+                        commit_points: points.clone(),
+                        snapshot_blob,
+                        device_scan_base: self.log.scan_base(),
+                    };
+                    if manifest.write_to(self.blobs.as_ref()).is_ok() {
+                        self.durable_version
+                            .fetch_max(commit_version.0, Ordering::AcqRel);
+                        self.completed.lock().push(CheckpointInfo {
+                            version: commit_version,
+                            until_address: until,
+                            commit_points: points,
+                        });
+                    }
+                    *machine = None;
+                    self.global.store(SystemState {
+                        phase: Phase::Rest,
+                        version: target,
+                    });
+                }
+            }
+            Phase::Throw => {
+                if self.all_sessions_at(state) {
+                    self.global.store(SystemState {
+                        phase: Phase::Purge,
+                        version: state.version,
+                    });
+                }
+            }
+            Phase::Purge => {
+                if !heavy {
+                    return;
+                }
+                let Some(ctx) = machine.as_ref() else { return };
+                let MachineKind::Rollback { v_safe, v_lost } = ctx.kind else {
+                    return;
+                };
+                self.log.purge_versions(v_safe, v_lost);
+                // Stale manifests for discarded versions must not be used
+                // for future recovery.
+                for v in (v_safe.0 + 1)..=v_lost.0 {
+                    let _ = self
+                        .blobs
+                        .delete(&CheckpointManifest::blob_name(Version(v)));
+                }
+                // The durable version cannot exceed the safe point anymore.
+                let cur = self.durable_version.load(Ordering::Acquire);
+                if cur > v_safe.0 {
+                    self.durable_version.store(v_safe.0, Ordering::Release);
+                }
+                *self.boundary.lock() = None;
+                *machine = None;
+                self.global.store(SystemState {
+                    phase: Phase::Rest,
+                    version: state.version,
+                });
+            }
+        }
+    }
+
+    /// Direct read for tests/examples outside any session: walks memory and
+    /// device, honoring tombstones and purges.
+    pub fn get(self: &Arc<Self>, key: &Key) -> Result<Option<Value>> {
+        match self.find_resident(key)? {
+            Find::Found { value } => Ok(value),
+            Find::OnDisk { addr } => self.find_from_disk(key, addr),
+        }
+    }
+
+    /// Scan the live state: the newest valid value per key, skipping
+    /// tombstoned, invalid, and purged records. Used by key migration
+    /// (§5.3) — an O(log) pass, not a hot-path operation.
+    pub fn scan_live(&self) -> Result<Vec<(Key, Value)>> {
+        self.scan_live_upto(Version(u64::MAX >> 8))
+    }
+
+    /// Like [`FasterKv::scan_live`], but only considering records written at
+    /// or below `max_version` (snapshot checkpoints capture the state as of
+    /// the committing version).
+    pub fn scan_live_upto(&self, max_version: Version) -> Result<Vec<(Key, Value)>> {
+        let mut newest: HashMap<Key, (u64, Option<Value>)> = HashMap::new();
+        for addr in 0..self.log.tail() {
+            let rec = match self.get_record_spin(addr)? {
+                RecordRef::Resident(r) => r,
+                RecordRef::OnDisk => Arc::new(self.log.read_from_device(addr)?),
+            };
+            let m = rec.meta();
+            if m.invalid || m.version > max_version || self.is_purged(m.version) {
+                continue;
+            }
+            let value = if m.tombstone {
+                None
+            } else {
+                Some(rec.read_value())
+            };
+            match newest.entry(rec.key().clone()) {
+                std::collections::hash_map::Entry::Occupied(mut e) => {
+                    if addr >= e.get().0 {
+                        e.insert((addr, value));
+                    }
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert((addr, value));
+                }
+            }
+        }
+        Ok(newest
+            .into_iter()
+            .filter_map(|(k, (_, v))| v.map(|v| (k, v)))
+            .collect())
+    }
+
+    /// Number of records in the log (diagnostics).
+    #[must_use]
+    pub fn log_tail(&self) -> u64 {
+        self.log.tail()
+    }
+
+    /// Evict every flushed, sealed page from memory (tests and memory
+    /// pressure simulations). Returns the new head address.
+    pub fn force_evict(&self) -> u64 {
+        self.log.evict_to(self.log.flushed())
+    }
+
+    /// Write a full state image for a snapshot-mode checkpoint.
+    fn write_snapshot(&self, version: Version) -> Result<String> {
+        let live = self.scan_live_upto(version)?;
+        let mut buf = Vec::with_capacity(16 + live.len() * 24);
+        buf.extend_from_slice(&(live.len() as u64).to_le_bytes());
+        for (k, v) in &live {
+            buf.extend_from_slice(&(k.len() as u32).to_le_bytes());
+            buf.extend_from_slice(k.as_bytes());
+            buf.extend_from_slice(&(v.len() as u32).to_le_bytes());
+            buf.extend_from_slice(v.as_bytes());
+        }
+        let name = format!("snap-{:020}", version.0);
+        self.blobs.put(&name, &buf)?;
+        Ok(name)
+    }
+
+    fn read_snapshot(blobs: &dyn BlobStore, name: &str) -> Result<Vec<(Key, Value)>> {
+        let corrupt = || DprError::Storage(format!("corrupt snapshot {name}"));
+        let data = blobs
+            .get(name)?
+            .ok_or_else(|| DprError::Storage(format!("missing snapshot {name}")))?;
+        if data.len() < 8 {
+            return Err(corrupt());
+        }
+        let count = u64::from_le_bytes(data[0..8].try_into().unwrap()) as usize;
+        let mut out = Vec::with_capacity(count);
+        let mut pos = 8;
+        for _ in 0..count {
+            if data.len() < pos + 4 {
+                return Err(corrupt());
+            }
+            let klen = u32::from_le_bytes(data[pos..pos + 4].try_into().unwrap()) as usize;
+            pos += 4;
+            if data.len() < pos + klen + 4 {
+                return Err(corrupt());
+            }
+            let key = Key(bytes::Bytes::copy_from_slice(&data[pos..pos + klen]));
+            pos += klen;
+            let vlen = u32::from_le_bytes(data[pos..pos + 4].try_into().unwrap()) as usize;
+            pos += 4;
+            if data.len() < pos + vlen {
+                return Err(corrupt());
+            }
+            let value = Value(bytes::Bytes::copy_from_slice(&data[pos..pos + vlen]));
+            pos += vlen;
+            out.push((key, value));
+        }
+        Ok(out)
+    }
+
+    /// Garbage-collect durable log space below the checkpoint of `version`
+    /// (which must be covered by the DPR cut — "D-FASTER only
+    /// garbage-collects FASTER log entries that are in the DPR guarantee",
+    /// §5.5).
+    ///
+    /// Only *snapshot* checkpoints make the log prefix redundant: a
+    /// fold-over checkpoint's state IS the log, so truncating below it would
+    /// lose live records that were never overwritten. Records below the
+    /// boundary must also already be evicted from memory. Manifests older
+    /// than `version` are deleted (no longer restorable). Returns the record
+    /// address the durable log now starts at, or `None` if there was nothing
+    /// safe to collect.
+    pub fn collect_garbage(&self, version: Version) -> Result<Option<u64>> {
+        if version > self.durable_version() {
+            return Err(DprError::Invalid(format!(
+                "cannot GC at {version}: durable only to {}",
+                self.durable_version()
+            )));
+        }
+        let Some(manifest) = CheckpointManifest::read_from(self.blobs.as_ref(), version)? else {
+            return Ok(None);
+        };
+        if manifest.snapshot_blob.is_none() {
+            // Fold-over: the log prefix is the only copy of live records.
+            return Ok(None);
+        }
+        if manifest.until_address == 0 || manifest.until_address > self.log.head() {
+            // Nothing below the boundary, or records still resident.
+            return Ok(None);
+        }
+        self.log.truncate_device_below(manifest.until_address)?;
+        // Older manifests reference truncated data; drop them.
+        for name in self.blobs.list("chkpt-")? {
+            let v: u64 = name
+                .trim_start_matches("chkpt-")
+                .parse()
+                .unwrap_or(u64::MAX);
+            if v < version.0 {
+                let _ = self.blobs.delete(&name);
+            }
+        }
+        Ok(Some(manifest.until_address))
+    }
+
+    /// True when no checkpoint/rollback machine is running or queued.
+    #[must_use]
+    pub fn machine_idle(&self) -> bool {
+        // Lock order machine → requests, matching `try_advance` (the guards
+        // of a `&&` chain live to the end of the statement).
+        self.machine.lock().is_none()
+            && self.requests.lock().is_empty()
+            && self.global.load().phase == Phase::Rest
+    }
+
+    /// Request a rollback to `v_safe` and wait for the machine to finish
+    /// (the worker-facing synchronous `Restore()`; the store-internal
+    /// machine is still non-blocking for sessions).
+    pub fn restore_sync(&self, v_safe: Version, timeout: Duration) -> Result<()> {
+        // Wait out any in-flight checkpoint first so the rollback is queued
+        // against a quiescent machine.
+        let start = std::time::Instant::now();
+        while !self.machine_idle() {
+            self.tick();
+            if start.elapsed() > timeout {
+                return Err(DprError::Timeout);
+            }
+            std::thread::yield_now();
+        }
+        self.request_rollback(v_safe);
+        while !self.machine_idle() {
+            self.tick();
+            if start.elapsed() > timeout {
+                return Err(DprError::Timeout);
+            }
+            std::thread::yield_now();
+        }
+        Ok(())
+    }
+}
+
+impl Drop for FasterKv {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}

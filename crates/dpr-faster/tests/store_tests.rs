@@ -1,0 +1,403 @@
+//! Behavioral tests for the FASTER-style store: checkpoints, rollback,
+//! crash recovery, pending operations.
+
+use dpr_core::{Key, SessionId, Value, Version};
+use dpr_faster::{FasterConfig, FasterKv, OpOutcome, Phase};
+use dpr_storage::{MemBlobStore, MemLogDevice};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn manual_config() -> FasterConfig {
+    FasterConfig {
+        index_buckets: 1 << 10,
+        memory_budget_records: 1 << 20,
+        auto_maintenance: false,
+        ..FasterConfig::default()
+    }
+}
+
+fn new_store() -> (Arc<FasterKv>, Arc<MemLogDevice>, Arc<MemBlobStore>) {
+    let device = Arc::new(MemLogDevice::null());
+    let blobs = Arc::new(MemBlobStore::new());
+    let kv = FasterKv::new(manual_config(), device.clone(), blobs.clone());
+    (kv, device, blobs)
+}
+
+#[test]
+fn upsert_read_delete_round_trip() {
+    let (kv, _, _) = new_store();
+    let s = kv.start_session(SessionId(1));
+    s.upsert(Key::from_u64(1), Value::from_u64(10)).unwrap();
+    match s.read(&Key::from_u64(1)).unwrap() {
+        OpOutcome::Read { value, .. } => assert_eq!(value.unwrap().as_u64(), Some(10)),
+        other => panic!("unexpected {other:?}"),
+    }
+    s.upsert(Key::from_u64(1), Value::from_u64(20)).unwrap();
+    match s.read(&Key::from_u64(1)).unwrap() {
+        OpOutcome::Read { value, .. } => assert_eq!(value.unwrap().as_u64(), Some(20)),
+        other => panic!("unexpected {other:?}"),
+    }
+    s.delete(Key::from_u64(1)).unwrap();
+    match s.read(&Key::from_u64(1)).unwrap() {
+        OpOutcome::Read { value, .. } => assert!(value.is_none()),
+        other => panic!("unexpected {other:?}"),
+    }
+    // Absent key.
+    match s.read(&Key::from_u64(999)).unwrap() {
+        OpOutcome::Read { value, .. } => assert!(value.is_none()),
+        other => panic!("unexpected {other:?}"),
+    }
+}
+
+#[test]
+fn rmw_counter_accumulates() {
+    let (kv, _, _) = new_store();
+    let s = kv.start_session(SessionId(1));
+    for _ in 0..10 {
+        s.rmw(Key::from_u64(5), |old| {
+            Value::from_u64(old.and_then(|v| v.as_u64()).unwrap_or(0) + 1)
+        })
+        .unwrap();
+    }
+    match s.read(&Key::from_u64(5)).unwrap() {
+        OpOutcome::Read { value, .. } => assert_eq!(value.unwrap().as_u64(), Some(10)),
+        other => panic!("unexpected {other:?}"),
+    }
+}
+
+#[test]
+fn checkpoint_commits_version_and_captures_session_serials() {
+    let (kv, _, _) = new_store();
+    let s = kv.start_session(SessionId(7));
+    for i in 0..5u64 {
+        s.upsert(Key::from_u64(i), Value::from_u64(i)).unwrap();
+    }
+    assert_eq!(kv.durable_version(), Version::ZERO);
+    assert!(kv.request_checkpoint(None));
+    assert!(kv.wait_for_durable(Version(1), Duration::from_secs(5)));
+    assert_eq!(kv.durable_version(), Version(1));
+    assert_eq!(kv.current_version(), Version(2));
+    let infos = kv.take_completed_checkpoints();
+    assert_eq!(infos.len(), 1);
+    assert_eq!(infos[0].version, Version(1));
+    let cp = &infos[0].commit_points[&SessionId(7)];
+    assert_eq!(cp.serial, 5, "all 5 ops inside version 1");
+    assert!(cp.exceptions.is_empty());
+}
+
+#[test]
+fn duplicate_checkpoint_requests_are_rejected() {
+    let (kv, _, _) = new_store();
+    assert!(kv.request_checkpoint(None));
+    assert!(!kv.request_checkpoint(None), "one already queued");
+}
+
+#[test]
+fn ops_after_boundary_are_in_next_version() {
+    let (kv, _, _) = new_store();
+    let s = kv.start_session(SessionId(1));
+    let before = s.upsert(Key::from_u64(1), Value::from_u64(1)).unwrap();
+    assert_eq!(before.version(), Some(Version(1)));
+    kv.request_checkpoint(None);
+    assert!(kv.wait_for_durable(Version(1), Duration::from_secs(5)));
+    let after = s.upsert(Key::from_u64(2), Value::from_u64(2)).unwrap();
+    assert_eq!(after.version(), Some(Version(2)));
+}
+
+#[test]
+fn checkpoint_fast_forward_reaches_target_version() {
+    let (kv, _, _) = new_store();
+    kv.request_checkpoint(Some(Version(10)));
+    assert!(kv.wait_for_durable(Version(1), Duration::from_secs(5)));
+    assert_eq!(
+        kv.current_version(),
+        Version(10),
+        "fast-forwarded past 2..9"
+    );
+    let s = kv.start_session(SessionId(1));
+    let out = s.upsert(Key::from_u64(1), Value::from_u64(1)).unwrap();
+    assert_eq!(out.version(), Some(Version(10)));
+}
+
+#[test]
+fn crash_recovery_restores_committed_prefix_only() {
+    let device = Arc::new(MemLogDevice::null());
+    let blobs = Arc::new(MemBlobStore::new());
+    {
+        let kv = FasterKv::new(manual_config(), device.clone(), blobs.clone());
+        let s = kv.start_session(SessionId(1));
+        for i in 0..20u64 {
+            s.upsert(Key::from_u64(i), Value::from_u64(i)).unwrap();
+        }
+        kv.request_checkpoint(None);
+        assert!(kv.wait_for_durable(Version(1), Duration::from_secs(5)));
+        // Uncommitted writes in version 2 — should vanish on crash.
+        for i in 0..20u64 {
+            s.upsert(Key::from_u64(i), Value::from_u64(i + 1000))
+                .unwrap();
+        }
+        s.upsert(Key::from_u64(777), Value::from_u64(777)).unwrap();
+    }
+    device.crash();
+    let kv = FasterKv::recover(manual_config(), device, blobs, None).unwrap();
+    assert_eq!(kv.durable_version(), Version(1));
+    for i in 0..20u64 {
+        let v = kv.get(&Key::from_u64(i)).unwrap().unwrap();
+        assert_eq!(v.as_u64(), Some(i), "committed value for key {i}");
+    }
+    assert!(
+        kv.get(&Key::from_u64(777)).unwrap().is_none(),
+        "v2 write lost"
+    );
+    // The recovered store keeps working.
+    let s = kv.start_session(SessionId(2));
+    s.upsert(Key::from_u64(777), Value::from_u64(1)).unwrap();
+    assert!(kv.get(&Key::from_u64(777)).unwrap().is_some());
+}
+
+#[test]
+fn recovery_of_empty_store_is_empty() {
+    let device = Arc::new(MemLogDevice::null());
+    let blobs = Arc::new(MemBlobStore::new());
+    let kv = FasterKv::recover(manual_config(), device, blobs, None).unwrap();
+    assert_eq!(kv.durable_version(), Version::ZERO);
+    assert!(kv.get(&Key::from_u64(1)).unwrap().is_none());
+}
+
+#[test]
+fn rollback_discards_versions_above_safe_point() {
+    let (kv, _, _) = new_store();
+    let s = kv.start_session(SessionId(1));
+    for i in 0..10u64 {
+        s.upsert(Key::from_u64(i), Value::from_u64(i)).unwrap();
+    }
+    kv.request_checkpoint(None);
+    assert!(kv.wait_for_durable(Version(1), Duration::from_secs(5)));
+    // Version-2 writes that will be rolled back.
+    for i in 0..10u64 {
+        s.upsert(Key::from_u64(i), Value::from_u64(i + 500))
+            .unwrap();
+    }
+    s.upsert(Key::from_u64(42), Value::from_u64(42)).unwrap();
+    kv.request_rollback(Version(1));
+    // Drive the rollback machine: Throw needs the session to observe.
+    for _ in 0..100 {
+        kv.tick();
+        s.refresh();
+        if kv.current_phase() == Phase::Rest && kv.current_version() == Version(3) {
+            break;
+        }
+    }
+    assert_eq!(kv.current_phase(), Phase::Rest);
+    assert_eq!(kv.current_version(), Version(3), "ops resume in v+1");
+    // Rolled-back values invisible; version-1 values restored.
+    for i in 0..10u64 {
+        match s.read(&Key::from_u64(i)).unwrap() {
+            OpOutcome::Read { value, .. } => {
+                assert_eq!(value.unwrap().as_u64(), Some(i), "key {i} back to v1")
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+    match s.read(&Key::from_u64(42)).unwrap() {
+        OpOutcome::Read { value, .. } => assert!(value.is_none(), "v2-only key erased"),
+        other => panic!("unexpected {other:?}"),
+    }
+    // New writes post-rollback are visible.
+    s.upsert(Key::from_u64(42), Value::from_u64(4242)).unwrap();
+    match s.read(&Key::from_u64(42)).unwrap() {
+        OpOutcome::Read { value, .. } => assert_eq!(value.unwrap().as_u64(), Some(4242)),
+        other => panic!("unexpected {other:?}"),
+    }
+}
+
+#[test]
+fn rollback_then_checkpoint_then_crash_recovery() {
+    let device = Arc::new(MemLogDevice::null());
+    let blobs = Arc::new(MemBlobStore::new());
+    {
+        let kv = FasterKv::new(manual_config(), device.clone(), blobs.clone());
+        let s = kv.start_session(SessionId(1));
+        s.upsert(Key::from_u64(1), Value::from_u64(1)).unwrap();
+        kv.request_checkpoint(None);
+        assert!(kv.wait_for_durable(Version(1), Duration::from_secs(5)));
+        s.upsert(Key::from_u64(1), Value::from_u64(2)).unwrap(); // v2, doomed
+        kv.request_rollback(Version(1));
+        for _ in 0..100 {
+            kv.tick();
+            s.refresh();
+            if kv.current_phase() == Phase::Rest && kv.current_version() == Version(3) {
+                break;
+            }
+        }
+        s.upsert(Key::from_u64(2), Value::from_u64(3)).unwrap(); // v3
+        kv.request_checkpoint(None);
+        assert!(kv.wait_for_durable(Version(3), Duration::from_secs(5)));
+    }
+    device.crash();
+    let kv = FasterKv::recover(manual_config(), device, blobs, None).unwrap();
+    assert_eq!(kv.durable_version(), Version(3));
+    assert_eq!(
+        kv.get(&Key::from_u64(1)).unwrap().unwrap().as_u64(),
+        Some(1),
+        "purged v2 write must not resurrect"
+    );
+    assert_eq!(
+        kv.get(&Key::from_u64(2)).unwrap().unwrap().as_u64(),
+        Some(3)
+    );
+}
+
+#[test]
+fn pending_read_resolves_from_device_after_eviction() {
+    let device = Arc::new(MemLogDevice::null());
+    let blobs = Arc::new(MemBlobStore::new());
+    let config = FasterConfig {
+        index_buckets: 1 << 10,
+        memory_budget_records: 0, // floor is 2 pages = 8192 records
+        auto_maintenance: false,
+        ..FasterConfig::default()
+    };
+    let kv = FasterKv::new(config, device, blobs);
+    let s = kv.start_session(SessionId(1));
+    // Write enough records to overflow the memory budget several times.
+    let n = 40_000u64;
+    for i in 0..n {
+        s.upsert(Key::from_u64(i), Value::from_u64(i)).unwrap();
+    }
+    // Seal and flush so eviction can happen, then evict.
+    kv.request_checkpoint(None);
+    assert!(kv.wait_for_durable(Version(1), Duration::from_secs(30)));
+    kv.force_evict();
+    // Old keys now live on the device.
+    let mut pending = 0;
+    let mut direct = 0;
+    for i in 0..100u64 {
+        match s.read(&Key::from_u64(i)).unwrap() {
+            OpOutcome::Pending(_) => pending += 1,
+            OpOutcome::Read { value, .. } => {
+                assert_eq!(value.unwrap().as_u64(), Some(i));
+                direct += 1;
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+    assert!(
+        pending > 0,
+        "expected evicted keys to go pending (direct={direct})"
+    );
+    let done = s.complete_pending().unwrap();
+    assert_eq!(done.len(), pending);
+    for c in &done {
+        assert!(!c.lost);
+        assert!(c.value.is_some());
+    }
+}
+
+#[test]
+fn commit_point_exceptions_include_outstanding_pendings() {
+    let device = Arc::new(MemLogDevice::null());
+    let blobs = Arc::new(MemBlobStore::new());
+    let config = FasterConfig {
+        index_buckets: 1 << 10,
+        memory_budget_records: 0,
+        auto_maintenance: false,
+        ..FasterConfig::default()
+    };
+    let kv = FasterKv::new(config, device, blobs);
+    let s = kv.start_session(SessionId(3));
+    for i in 0..40_000u64 {
+        s.upsert(Key::from_u64(i), Value::from_u64(i)).unwrap();
+    }
+    kv.request_checkpoint(None);
+    assert!(kv.wait_for_durable(Version(1), Duration::from_secs(30)));
+    kv.force_evict();
+    // Issue reads that go pending, then checkpoint with them outstanding.
+    let mut pending_serials = Vec::new();
+    for i in 0..50u64 {
+        if let OpOutcome::Pending(t) = s.read(&Key::from_u64(i)).unwrap() {
+            pending_serials.push(t.serial);
+        }
+    }
+    assert!(!pending_serials.is_empty());
+    kv.request_checkpoint(None);
+    assert!(kv.wait_for_durable(Version(2), Duration::from_secs(30)));
+    let infos = kv.take_completed_checkpoints();
+    let cp = &infos.last().unwrap().commit_points[&SessionId(3)];
+    for serial in &pending_serials {
+        assert!(
+            cp.exceptions.contains(serial),
+            "pending serial {serial} must be excepted from the commit"
+        );
+    }
+    // Relaxed CPR: the session can still resolve them afterwards.
+    let done = s.complete_pending().unwrap();
+    assert_eq!(done.len(), pending_serials.len());
+}
+
+#[test]
+fn concurrent_sessions_with_checkpoints_under_load() {
+    let device = Arc::new(MemLogDevice::null());
+    let blobs = Arc::new(MemBlobStore::new());
+    let config = FasterConfig {
+        index_buckets: 1 << 12,
+        memory_budget_records: 1 << 22,
+        auto_maintenance: true,
+        ..FasterConfig::default()
+    };
+    let kv = FasterKv::new(config, device, blobs);
+    let threads = 4;
+    let ops_per_thread = 20_000u64;
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let kv = kv.clone();
+            scope.spawn(move || {
+                let s = kv.start_session(SessionId(t));
+                for i in 0..ops_per_thread {
+                    let key = Key::from_u64((t * ops_per_thread + i) % 1000);
+                    if i % 2 == 0 {
+                        s.upsert(key, Value::from_u64(i)).unwrap();
+                    } else {
+                        s.read(&key).unwrap();
+                    }
+                }
+            });
+        }
+        // Trigger checkpoints while the workers run.
+        let kv2 = kv.clone();
+        scope.spawn(move || {
+            for _ in 0..5 {
+                kv2.request_checkpoint(None);
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        });
+    });
+    // Let the last checkpoint finish.
+    let target = kv.durable_version().next();
+    kv.request_checkpoint(None);
+    assert!(kv.wait_for_durable(target, Duration::from_secs(10)));
+    assert!(kv.durable_version() >= Version(1));
+}
+
+#[test]
+fn restore_to_earlier_checkpoint_after_restart() {
+    let device = Arc::new(MemLogDevice::null());
+    let blobs = Arc::new(MemBlobStore::new());
+    {
+        let kv = FasterKv::new(manual_config(), device.clone(), blobs.clone());
+        let s = kv.start_session(SessionId(1));
+        s.upsert(Key::from_u64(1), Value::from_u64(1)).unwrap();
+        kv.request_checkpoint(None);
+        assert!(kv.wait_for_durable(Version(1), Duration::from_secs(5)));
+        s.upsert(Key::from_u64(1), Value::from_u64(2)).unwrap();
+        kv.request_checkpoint(None);
+        assert!(kv.wait_for_durable(Version(2), Duration::from_secs(5)));
+    }
+    // Restore(token v1): the DPR cut said v1, even though v2 is durable.
+    let kv = FasterKv::recover(manual_config(), device, blobs, Some(Version(1))).unwrap();
+    assert_eq!(kv.durable_version(), Version(1));
+    assert_eq!(
+        kv.get(&Key::from_u64(1)).unwrap().unwrap().as_u64(),
+        Some(1)
+    );
+}

@@ -1,0 +1,572 @@
+//! # dpr-log
+//!
+//! A Kafka-like persistent shared log as a DPR `StateObject` — the third
+//! kind of cache-store the paper names ("logging systems such as Kafka",
+//! §1) and the substrate of its serverless-workflow example (Example 2).
+//!
+//! One [`SharedLog`] is one shard (a topic partition): producers `enqueue`
+//! entries that become visible to consumers *immediately*, before
+//! durability; `Commit()` seals the current version by flushing the entry
+//! prefix to the device; `Restore()` truncates back to a committed version.
+//! Consumer offsets are part of the recovered state: a dequeue that read an
+//! uncommitted entry is itself uncommitted, and rolls back with it —
+//! exactly the dependency Example 2 relies on.
+
+#![warn(missing_docs)]
+
+use bytes::Bytes;
+use dpr_core::{DprError, Result, ShardId, Version};
+use dpr_storage::{BlobStore, LogDevice};
+use libdpr::{CommitDescriptor, StateObject};
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A consumer group identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ConsumerId(pub u64);
+
+/// One log entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Entry {
+    /// Dense offset within this log.
+    pub offset: u64,
+    /// Version the entry was enqueued in (its commit unit).
+    pub version: Version,
+    /// Payload bytes.
+    pub payload: Bytes,
+}
+
+#[derive(Debug, Serialize, Deserialize)]
+struct LogManifest {
+    version: Version,
+    /// One past the last entry offset included in this version.
+    until_offset: u64,
+    /// Consumer offsets captured at the version boundary.
+    consumers: BTreeMap<ConsumerId, u64>,
+}
+
+impl LogManifest {
+    fn blob_name(version: Version) -> String {
+        format!("log-chkpt-{:020}", version.0)
+    }
+}
+
+struct LogInner {
+    entries: Vec<Entry>,
+    consumers: BTreeMap<ConsumerId, u64>,
+    /// Entry offset up to which the device holds serialized entries.
+    flushed_entries: u64,
+    /// Versions sealed but whose flush has not completed (version → until).
+    sealing: BTreeMap<Version, u64>,
+    completed: Vec<CommitDescriptor>,
+}
+
+/// A Kafka-like shared log shard with DPR semantics.
+///
+/// ```
+/// use dpr_log::{ConsumerId, SharedLog};
+/// use dpr_core::ShardId;
+/// use dpr_storage::{MemBlobStore, MemLogDevice};
+/// use libdpr::StateObject;
+/// use std::sync::Arc;
+///
+/// let log = SharedLog::new(
+///     ShardId(0),
+///     Arc::new(MemLogDevice::null()),
+///     Arc::new(MemBlobStore::new()),
+/// );
+/// log.enqueue(bytes::Bytes::from_static(b"hello"));
+/// // Visible to consumers before commit:
+/// let (entries, _) = log.poll(ConsumerId(1), 10);
+/// assert_eq!(entries.len(), 1);
+/// // Committed lazily:
+/// log.request_commit(None);
+/// assert_eq!(log.take_commits().len(), 1);
+/// ```
+pub struct SharedLog {
+    shard: ShardId,
+    device: Arc<dyn LogDevice>,
+    blobs: Arc<dyn BlobStore>,
+    inner: Mutex<LogInner>,
+    current_version: AtomicU64,
+    durable_version: AtomicU64,
+}
+
+fn encode_entry(e: &Entry, out: &mut Vec<u8>) {
+    out.extend_from_slice(&e.offset.to_le_bytes());
+    out.extend_from_slice(&e.version.0.to_le_bytes());
+    out.extend_from_slice(&(e.payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&e.payload);
+}
+
+fn decode_entry(buf: &[u8]) -> Option<(Entry, usize)> {
+    if buf.len() < 20 {
+        return None;
+    }
+    let offset = u64::from_le_bytes(buf[0..8].try_into().unwrap());
+    let version = Version(u64::from_le_bytes(buf[8..16].try_into().unwrap()));
+    let len = u32::from_le_bytes(buf[16..20].try_into().unwrap()) as usize;
+    if buf.len() < 20 + len {
+        return None;
+    }
+    Some((
+        Entry {
+            offset,
+            version,
+            payload: Bytes::copy_from_slice(&buf[20..20 + len]),
+        },
+        20 + len,
+    ))
+}
+
+impl SharedLog {
+    /// Create an empty log shard.
+    pub fn new(shard: ShardId, device: Arc<dyn LogDevice>, blobs: Arc<dyn BlobStore>) -> Self {
+        SharedLog {
+            shard,
+            device,
+            blobs,
+            inner: Mutex::new(LogInner {
+                entries: Vec::new(),
+                consumers: BTreeMap::new(),
+                flushed_entries: 0,
+                sealing: BTreeMap::new(),
+                completed: Vec::new(),
+            }),
+            current_version: AtomicU64::new(1),
+            durable_version: AtomicU64::new(0),
+        }
+    }
+
+    /// Enqueue a payload; visible to consumers immediately, committed
+    /// lazily. Returns the entry offset and the version it executed in.
+    pub fn enqueue(&self, payload: Bytes) -> (u64, Version) {
+        let mut inner = self.inner.lock();
+        let version = Version(self.current_version.load(Ordering::Acquire));
+        let offset = inner.entries.len() as u64;
+        inner.entries.push(Entry {
+            offset,
+            version,
+            payload,
+        });
+        (offset, version)
+    }
+
+    /// Read the entry at `offset`, if present.
+    pub fn read(&self, offset: u64) -> Option<Entry> {
+        self.inner.lock().entries.get(offset as usize).cloned()
+    }
+
+    /// Dequeue up to `max` entries for `consumer`, advancing its offset.
+    /// Returns the entries and the version the dequeue executed in (the
+    /// dequeue is an operation too — it commits with the consumer-offset
+    /// movement it caused).
+    pub fn poll(&self, consumer: ConsumerId, max: usize) -> (Vec<Entry>, Version) {
+        let mut inner = self.inner.lock();
+        let version = Version(self.current_version.load(Ordering::Acquire));
+        let start = *inner.consumers.get(&consumer).unwrap_or(&0);
+        let end = (start as usize + max).min(inner.entries.len());
+        let out: Vec<Entry> = inner.entries[start as usize..end].to_vec();
+        inner.consumers.insert(consumer, end as u64);
+        (out, version)
+    }
+
+    /// Committed offset of `consumer`.
+    pub fn consumer_offset(&self, consumer: ConsumerId) -> u64 {
+        *self.inner.lock().consumers.get(&consumer).unwrap_or(&0)
+    }
+
+    /// Total entries (committed or not).
+    pub fn len(&self) -> u64 {
+        self.inner.lock().entries.len() as u64
+    }
+
+    /// Whether the log is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drive sealed versions to durability: flush newly sealed entries and
+    /// complete their manifests. Returns completed versions. (The embedding
+    /// worker calls this from its control loop; the flush itself charges
+    /// the device's latency model.)
+    pub fn pump(&self) -> Result<Vec<Version>> {
+        // Snapshot what to do under the lock, do I/O outside it.
+        let (to_flush, pending): (u64, Vec<(Version, u64)>) = {
+            let inner = self.inner.lock();
+            let max_until = inner.sealing.values().copied().max().unwrap_or(0);
+            (
+                max_until.saturating_sub(inner.flushed_entries),
+                inner.sealing.iter().map(|(v, u)| (*v, *u)).collect(),
+            )
+        };
+        if pending.is_empty() {
+            return Ok(Vec::new());
+        }
+        if to_flush > 0 {
+            let mut buf = Vec::new();
+            let (start, entries): (u64, Vec<Entry>) = {
+                let inner = self.inner.lock();
+                let start = inner.flushed_entries;
+                let until = inner.sealing.values().copied().max().unwrap_or(start);
+                (
+                    start,
+                    inner.entries[start as usize..until as usize].to_vec(),
+                )
+            };
+            for e in &entries {
+                encode_entry(e, &mut buf);
+            }
+            self.device.append(&buf)?;
+            self.device.flush()?;
+            let mut inner = self.inner.lock();
+            inner.flushed_entries = inner.flushed_entries.max(start + entries.len() as u64);
+        }
+        let mut done = Vec::new();
+        let mut inner = self.inner.lock();
+        let flushed = inner.flushed_entries;
+        let consumers = inner.consumers.clone();
+        let ready: Vec<(Version, u64)> = inner
+            .sealing
+            .iter()
+            .filter(|&(_, &until)| until <= flushed)
+            .map(|(v, u)| (*v, *u))
+            .collect();
+        for (version, until) in ready {
+            let manifest = LogManifest {
+                version,
+                until_offset: until,
+                consumers: consumers.clone(),
+            };
+            let Ok(data) = serde_json::to_vec(&manifest) else {
+                continue;
+            };
+            if self
+                .blobs
+                .put(&LogManifest::blob_name(version), &data)
+                .is_ok()
+            {
+                self.durable_version.fetch_max(version.0, Ordering::AcqRel);
+                inner.completed.push(CommitDescriptor { version });
+                inner.sealing.remove(&version);
+                done.push(version);
+            }
+        }
+        Ok(done)
+    }
+
+    /// Recover a log shard from its device and manifests after a crash.
+    pub fn recover(
+        shard: ShardId,
+        device: Arc<dyn LogDevice>,
+        blobs: Arc<dyn BlobStore>,
+        at_most: Option<Version>,
+    ) -> Result<SharedLog> {
+        // Latest manifest at or below the bound.
+        let names = blobs.list("log-chkpt-")?;
+        let mut manifest: Option<LogManifest> = None;
+        for name in names.iter().rev() {
+            let v: u64 = name
+                .trim_start_matches("log-chkpt-")
+                .parse()
+                .map_err(|_| DprError::Storage(format!("bad manifest {name}")))?;
+            if at_most.is_none_or(|m| Version(v) <= m) {
+                let data = blobs
+                    .get(name)?
+                    .ok_or_else(|| DprError::Storage(format!("missing blob {name}")))?;
+                manifest = Some(
+                    serde_json::from_slice(&data)
+                        .map_err(|e| DprError::Storage(format!("manifest decode: {e}")))?,
+                );
+                break;
+            }
+        }
+        let (version, until, consumers) = match manifest {
+            Some(m) => (m.version, m.until_offset, m.consumers),
+            None => (Version::ZERO, 0, BTreeMap::new()),
+        };
+        // Replay entries from the device up to the manifest boundary.
+        let durable = device.durable_frontier();
+        let mut entries = Vec::new();
+        let mut offset = 0u64;
+        let mut carry: Vec<u8> = Vec::new();
+        let mut buf = vec![0u8; 1 << 16];
+        'scan: while offset < durable && (entries.len() as u64) < until {
+            let n = device.read(offset, &mut buf)?;
+            if n == 0 {
+                break;
+            }
+            carry.extend_from_slice(&buf[..n]);
+            offset += n as u64;
+            let mut consumed = 0;
+            while let Some((e, used)) = decode_entry(&carry[consumed..]) {
+                consumed += used;
+                if e.offset != entries.len() as u64 {
+                    return Err(DprError::Storage(format!(
+                        "log scan out of order at {}",
+                        e.offset
+                    )));
+                }
+                entries.push(e);
+                if entries.len() as u64 >= until {
+                    break 'scan;
+                }
+            }
+            carry.drain(..consumed);
+        }
+        let flushed = entries.len() as u64;
+        // Consumer offsets never point past the recovered entries.
+        let consumers = consumers
+            .into_iter()
+            .map(|(c, o)| (c, o.min(flushed)))
+            .collect();
+        Ok(SharedLog {
+            shard,
+            device,
+            blobs,
+            inner: Mutex::new(LogInner {
+                entries,
+                consumers,
+                flushed_entries: flushed,
+                sealing: BTreeMap::new(),
+                completed: Vec::new(),
+            }),
+            current_version: AtomicU64::new(version.0 + 1),
+            durable_version: AtomicU64::new(version.0),
+        })
+    }
+}
+
+impl StateObject for SharedLog {
+    fn shard(&self) -> ShardId {
+        self.shard
+    }
+
+    fn current_version(&self) -> Version {
+        Version(self.current_version.load(Ordering::Acquire))
+    }
+
+    fn durable_version(&self) -> Version {
+        Version(self.durable_version.load(Ordering::Acquire))
+    }
+
+    fn request_commit(&self, target: Option<Version>) -> bool {
+        let mut inner = self.inner.lock();
+        let sealing = Version(self.current_version.load(Ordering::Acquire));
+        if inner.sealing.contains_key(&sealing) {
+            return false;
+        }
+        let until = inner.entries.len() as u64;
+        inner.sealing.insert(sealing, until);
+        let next = target.map_or(sealing.next(), |t| t.max(sealing.next()));
+        self.current_version.store(next.0, Ordering::Release);
+        true
+    }
+
+    fn take_commits(&self) -> Vec<CommitDescriptor> {
+        // Opportunistically drive pending flushes.
+        let _ = self.pump();
+        std::mem::take(&mut self.inner.lock().completed)
+    }
+
+    fn restore(&self, version: Version) -> Result<()> {
+        // Find the boundary for `version` from its manifest (or empty).
+        let boundary = if version == Version::ZERO {
+            LogManifest {
+                version: Version::ZERO,
+                until_offset: 0,
+                consumers: BTreeMap::new(),
+            }
+        } else {
+            let data = self.blobs.get(&LogManifest::blob_name(version))?.ok_or(
+                DprError::NoSuchCheckpoint {
+                    shard: self.shard,
+                    version,
+                },
+            )?;
+            serde_json::from_slice(&data)
+                .map_err(|e| DprError::Storage(format!("manifest decode: {e}")))?
+        };
+        let mut inner = self.inner.lock();
+        inner.entries.truncate(boundary.until_offset as usize);
+        inner.flushed_entries = inner.flushed_entries.min(boundary.until_offset);
+        inner.consumers = boundary.consumers;
+        inner.sealing.retain(|&v, _| v <= version);
+        inner.completed.retain(|d| d.version <= version);
+        let cur = self.current_version.load(Ordering::Acquire);
+        self.current_version
+            .store(cur.max(version.0 + 1), Ordering::Release);
+        self.durable_version.store(
+            self.durable_version.load(Ordering::Acquire).min(version.0),
+            Ordering::Release,
+        );
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpr_storage::{MemBlobStore, MemLogDevice};
+
+    fn log() -> (SharedLog, Arc<MemLogDevice>, Arc<MemBlobStore>) {
+        let device = Arc::new(MemLogDevice::null());
+        let blobs = Arc::new(MemBlobStore::new());
+        (
+            SharedLog::new(ShardId(0), device.clone(), blobs.clone()),
+            device,
+            blobs,
+        )
+    }
+
+    fn payload(i: u64) -> Bytes {
+        Bytes::copy_from_slice(&i.to_be_bytes())
+    }
+
+    #[test]
+    fn enqueue_is_visible_before_commit() {
+        let (log, _, _) = log();
+        let (off, v) = log.enqueue(payload(1));
+        assert_eq!(off, 0);
+        assert_eq!(v, Version(1));
+        assert_eq!(log.durable_version(), Version::ZERO, "not committed yet");
+        let (got, _) = log.poll(ConsumerId(1), 10);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].payload, payload(1));
+    }
+
+    #[test]
+    fn poll_advances_consumer_offset_independently() {
+        let (log, _, _) = log();
+        for i in 0..10 {
+            log.enqueue(payload(i));
+        }
+        let (a1, _) = log.poll(ConsumerId(1), 4);
+        assert_eq!(a1.len(), 4);
+        let (b1, _) = log.poll(ConsumerId(2), 7);
+        assert_eq!(b1.len(), 7);
+        let (a2, _) = log.poll(ConsumerId(1), 100);
+        assert_eq!(a2.len(), 6);
+        assert_eq!(log.consumer_offset(ConsumerId(1)), 10);
+        assert_eq!(log.consumer_offset(ConsumerId(2)), 7);
+    }
+
+    #[test]
+    fn commit_seals_and_reports() {
+        let (log, _, _) = log();
+        log.enqueue(payload(1));
+        assert!(log.request_commit(None));
+        assert_eq!(log.current_version(), Version(2));
+        let commits = log.take_commits();
+        assert_eq!(
+            commits,
+            vec![CommitDescriptor {
+                version: Version(1)
+            }]
+        );
+        assert_eq!(log.durable_version(), Version(1));
+        // Nothing new to seal → absorbed as in-flight.
+        assert!(log.request_commit(None));
+        log.take_commits();
+        // Re-sealing the same version is refused.
+        let v = log.current_version();
+        assert!(log.request_commit(Some(v)));
+    }
+
+    #[test]
+    fn restore_truncates_uncommitted_entries_and_offsets() {
+        let (log, _, _) = log();
+        log.enqueue(payload(1)); // v1
+        log.request_commit(None);
+        log.take_commits();
+        log.enqueue(payload(2)); // v2, uncommitted
+        log.poll(ConsumerId(1), 10); // consumer read both (offset 2)
+        log.restore(Version(1)).unwrap();
+        assert_eq!(log.len(), 1, "uncommitted entry truncated");
+        assert_eq!(
+            log.consumer_offset(ConsumerId(1)),
+            0,
+            "offset rolled back to the committed boundary capture"
+        );
+        // New enqueues land in a later version.
+        let (_, v) = log.enqueue(payload(3));
+        assert!(v >= Version(2));
+    }
+
+    #[test]
+    fn consumer_offset_commits_with_its_version() {
+        let (log, _, _) = log();
+        log.enqueue(payload(1));
+        log.poll(ConsumerId(1), 10);
+        // Commit v1: the boundary captures offset 1.
+        log.request_commit(None);
+        log.take_commits();
+        // v2: read more... nothing to read; enqueue + read.
+        log.enqueue(payload(2));
+        log.poll(ConsumerId(1), 10);
+        assert_eq!(log.consumer_offset(ConsumerId(1)), 2);
+        log.restore(Version(1)).unwrap();
+        assert_eq!(
+            log.consumer_offset(ConsumerId(1)),
+            1,
+            "offset restored to the v1 capture"
+        );
+    }
+
+    #[test]
+    fn crash_recovery_replays_committed_prefix() {
+        let device = Arc::new(MemLogDevice::null());
+        let blobs = Arc::new(MemBlobStore::new());
+        {
+            let log = SharedLog::new(ShardId(0), device.clone(), blobs.clone());
+            for i in 0..5 {
+                log.enqueue(payload(i));
+            }
+            log.poll(ConsumerId(9), 3);
+            log.request_commit(None);
+            log.take_commits();
+            // Uncommitted tail.
+            for i in 5..8 {
+                log.enqueue(payload(i));
+            }
+        }
+        device.crash();
+        let log = SharedLog::recover(ShardId(0), device, blobs, None).unwrap();
+        assert_eq!(log.durable_version(), Version(1));
+        assert_eq!(log.len(), 5, "only committed entries recovered");
+        assert_eq!(log.consumer_offset(ConsumerId(9)), 3);
+        let (got, _) = log.poll(ConsumerId(9), 10);
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].payload, payload(3));
+    }
+
+    #[test]
+    fn recovery_at_bound_picks_older_manifest() {
+        let device = Arc::new(MemLogDevice::null());
+        let blobs = Arc::new(MemBlobStore::new());
+        {
+            let log = SharedLog::new(ShardId(0), device.clone(), blobs.clone());
+            log.enqueue(payload(1));
+            log.request_commit(None);
+            log.take_commits();
+            log.enqueue(payload(2));
+            log.request_commit(None);
+            log.take_commits();
+        }
+        let log = SharedLog::recover(ShardId(0), device, blobs, Some(Version(1))).unwrap();
+        assert_eq!(log.durable_version(), Version(1));
+        assert_eq!(log.len(), 1);
+    }
+
+    #[test]
+    fn empty_recovery() {
+        let device = Arc::new(MemLogDevice::null());
+        let blobs = Arc::new(MemBlobStore::new());
+        let log = SharedLog::recover(ShardId(0), device, blobs, None).unwrap();
+        assert!(log.is_empty());
+        assert_eq!(log.durable_version(), Version::ZERO);
+    }
+}

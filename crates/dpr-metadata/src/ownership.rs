@@ -1,0 +1,291 @@
+//! Key-ownership tracking with virtual partitions and leases (§5.3).
+//!
+//! It is unrealistic to track ownership per key, so keys map to *virtual
+//! partitions* (hash- or range-based, both supported per the paper) and the
+//! ownership table maps partitions to workers. Workers validate ownership
+//! against a local view and guard staleness with leases; transfers renounce
+//! first, leaving the partition briefly un-owned while clients retry.
+
+use dpr_core::{Clock, DprError, Key, Result, ShardId};
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A virtual partition id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct VirtualPartition(pub u32);
+
+/// How keys map to virtual partitions.
+///
+/// "Hash- and range-based partitioning schemes are supported by default"
+/// (§5.3). Range partitioning interprets 8-byte keys as big-endian integers.
+///
+/// ```
+/// use dpr_metadata::Partitioner;
+/// use dpr_core::Key;
+///
+/// let p = Partitioner::Range { partitions: 4, keyspace: 400 };
+/// assert_eq!(p.partition_of(&Key::from_u64(150)).0, 1);
+/// let h = Partitioner::Hash { partitions: 8 };
+/// assert!(h.partition_of(&Key::from_u64(150)).0 < 8);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Partitioner {
+    /// `hash(key) % partitions`.
+    Hash {
+        /// Number of virtual partitions.
+        partitions: u32,
+    },
+    /// Split a `u64` keyspace into equal contiguous ranges.
+    Range {
+        /// Number of virtual partitions.
+        partitions: u32,
+        /// Exclusive upper bound of the keyspace.
+        keyspace: u64,
+    },
+}
+
+impl Partitioner {
+    /// Number of partitions this scheme produces.
+    #[must_use]
+    pub fn partitions(&self) -> u32 {
+        match self {
+            Partitioner::Hash { partitions } | Partitioner::Range { partitions, .. } => *partitions,
+        }
+    }
+
+    /// The virtual partition owning `key`.
+    #[must_use]
+    pub fn partition_of(&self, key: &Key) -> VirtualPartition {
+        match self {
+            Partitioner::Hash { partitions } => {
+                VirtualPartition((key.hash64() % u64::from(*partitions)) as u32)
+            }
+            Partitioner::Range {
+                partitions,
+                keyspace,
+            } => {
+                let k = key.as_u64().unwrap_or_else(|| key.hash64());
+                let width = (keyspace / u64::from(*partitions)).max(1);
+                VirtualPartition(((k / width).min(u64::from(*partitions) - 1)) as u32)
+            }
+        }
+    }
+}
+
+/// One row of the ownership table.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OwnershipEntry {
+    /// Current owner; `None` mid-transfer.
+    pub owner: Option<ShardId>,
+    /// Lease expiry in clock nanos; owners must revalidate after this.
+    pub lease_until_nanos: u64,
+}
+
+/// The ownership table, shared between workers and clients.
+///
+/// Workers cache a local view; in this in-process reproduction the "cache"
+/// is the shared table itself, and lease checks model the staleness guard.
+pub struct OwnershipTable {
+    partitioner: Partitioner,
+    entries: RwLock<BTreeMap<VirtualPartition, OwnershipEntry>>,
+    clock: Arc<dyn Clock>,
+    lease: Duration,
+}
+
+impl OwnershipTable {
+    /// Build a table with the given partitioner and lease duration.
+    pub fn new(partitioner: Partitioner, clock: Arc<dyn Clock>, lease: Duration) -> Self {
+        OwnershipTable {
+            partitioner,
+            entries: RwLock::new(BTreeMap::new()),
+            clock,
+            lease,
+        }
+    }
+
+    /// The partitioner in use.
+    #[must_use]
+    pub fn partitioner(&self) -> &Partitioner {
+        &self.partitioner
+    }
+
+    /// Assign every partition round-robin across `workers` — the initial
+    /// "keyspace sharded by hash value into equal chunks" layout (§7.1).
+    pub fn assign_round_robin(&self, workers: &[ShardId]) {
+        let now = self.clock.now_nanos();
+        let mut entries = self.entries.write();
+        for p in 0..self.partitioner.partitions() {
+            let owner = workers[(p as usize) % workers.len()];
+            entries.insert(
+                VirtualPartition(p),
+                OwnershipEntry {
+                    owner: Some(owner),
+                    lease_until_nanos: now + self.lease.as_nanos() as u64,
+                },
+            );
+        }
+    }
+
+    /// The owner of `key`, if the partition is owned and the lease is live.
+    pub fn owner_of(&self, key: &Key) -> Result<ShardId> {
+        let vp = self.partitioner.partition_of(key);
+        self.owner_of_partition(vp)
+    }
+
+    /// The owner of a partition.
+    pub fn owner_of_partition(&self, vp: VirtualPartition) -> Result<ShardId> {
+        let entries = self.entries.read();
+        match entries.get(&vp).and_then(|e| e.owner) {
+            Some(owner) => Ok(owner),
+            None => Err(DprError::Invalid(format!("partition {vp:?} un-owned"))),
+        }
+    }
+
+    /// Validate that `shard` owns `key` under a live lease — the check every
+    /// worker performs before executing an operation (§5.3).
+    pub fn validate(&self, shard: ShardId, key: &Key) -> bool {
+        let vp = self.partitioner.partition_of(key);
+        let entries = self.entries.read();
+        match entries.get(&vp) {
+            Some(e) => e.owner == Some(shard) && e.lease_until_nanos >= self.clock.now_nanos(),
+            None => false,
+        }
+    }
+
+    /// Renew the lease on every partition owned by `shard`.
+    pub fn renew_leases(&self, shard: ShardId) {
+        let until = self.clock.now_nanos() + self.lease.as_nanos() as u64;
+        let mut entries = self.entries.write();
+        for e in entries.values_mut() {
+            if e.owner == Some(shard) {
+                e.lease_until_nanos = until;
+            }
+        }
+    }
+
+    /// Begin transferring a partition: the old owner renounces locally
+    /// before the table is updated, so the partition is temporarily
+    /// un-owned and clients retry (§5.3).
+    pub fn renounce(&self, vp: VirtualPartition, old_owner: ShardId) -> Result<()> {
+        let mut entries = self.entries.write();
+        let e = entries
+            .get_mut(&vp)
+            .ok_or_else(|| DprError::Invalid(format!("unknown partition {vp:?}")))?;
+        if e.owner != Some(old_owner) {
+            return Err(DprError::Invalid(format!(
+                "{old_owner} does not own {vp:?}"
+            )));
+        }
+        e.owner = None;
+        Ok(())
+    }
+
+    /// Complete a transfer by installing the new owner.
+    pub fn claim(&self, vp: VirtualPartition, new_owner: ShardId) -> Result<()> {
+        let now = self.clock.now_nanos();
+        let mut entries = self.entries.write();
+        let e = entries
+            .get_mut(&vp)
+            .ok_or_else(|| DprError::Invalid(format!("unknown partition {vp:?}")))?;
+        if e.owner.is_some() {
+            return Err(DprError::Invalid(format!("{vp:?} still owned")));
+        }
+        e.owner = Some(new_owner);
+        e.lease_until_nanos = now + self.lease.as_nanos() as u64;
+        Ok(())
+    }
+
+    /// Partitions currently owned by `shard`.
+    #[must_use]
+    pub fn partitions_of(&self, shard: ShardId) -> Vec<VirtualPartition> {
+        self.entries
+            .read()
+            .iter()
+            .filter(|(_, e)| e.owner == Some(shard))
+            .map(|(vp, _)| *vp)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpr_core::SimClock;
+
+    fn table(partitions: u32) -> (OwnershipTable, SimClock) {
+        let clock = SimClock::new();
+        let t = OwnershipTable::new(
+            Partitioner::Hash { partitions },
+            Arc::new(clock.clone()),
+            Duration::from_secs(10),
+        );
+        (t, clock)
+    }
+
+    #[test]
+    fn hash_partitioning_is_stable_and_total() {
+        let p = Partitioner::Hash { partitions: 8 };
+        for k in 0..1000u64 {
+            let key = Key::from_u64(k);
+            let a = p.partition_of(&key);
+            assert_eq!(a, p.partition_of(&key));
+            assert!(a.0 < 8);
+        }
+    }
+
+    #[test]
+    fn range_partitioning_splits_keyspace() {
+        let p = Partitioner::Range {
+            partitions: 4,
+            keyspace: 400,
+        };
+        assert_eq!(p.partition_of(&Key::from_u64(0)).0, 0);
+        assert_eq!(p.partition_of(&Key::from_u64(150)).0, 1);
+        assert_eq!(p.partition_of(&Key::from_u64(399)).0, 3);
+        // Keys beyond the declared keyspace clamp to the last partition.
+        assert_eq!(p.partition_of(&Key::from_u64(10_000)).0, 3);
+    }
+
+    #[test]
+    fn round_robin_covers_all_partitions() {
+        let (t, _) = table(16);
+        let workers = [ShardId(0), ShardId(1), ShardId(2)];
+        t.assign_round_robin(&workers);
+        for p in 0..16 {
+            let owner = t.owner_of_partition(VirtualPartition(p)).unwrap();
+            assert_eq!(owner, workers[(p as usize) % 3]);
+        }
+    }
+
+    #[test]
+    fn validate_fails_after_lease_expiry_until_renewed() {
+        let (t, clock) = table(4);
+        t.assign_round_robin(&[ShardId(0)]);
+        let key = Key::from_u64(1);
+        assert!(t.validate(ShardId(0), &key));
+        clock.advance(Duration::from_secs(11));
+        assert!(!t.validate(ShardId(0), &key), "lease expired");
+        t.renew_leases(ShardId(0));
+        assert!(t.validate(ShardId(0), &key));
+    }
+
+    #[test]
+    fn transfer_renounce_then_claim() {
+        let (t, _) = table(4);
+        t.assign_round_robin(&[ShardId(0)]);
+        let vp = VirtualPartition(2);
+        // Wrong owner cannot renounce.
+        assert!(t.renounce(vp, ShardId(9)).is_err());
+        t.renounce(vp, ShardId(0)).unwrap();
+        // Mid-transfer: lookups fail, clients retry.
+        assert!(t.owner_of_partition(vp).is_err());
+        // Cannot claim an owned partition.
+        assert!(t.claim(VirtualPartition(1), ShardId(1)).is_err());
+        t.claim(vp, ShardId(1)).unwrap();
+        assert_eq!(t.owner_of_partition(vp).unwrap(), ShardId(1));
+        assert_eq!(t.partitions_of(ShardId(1)), vec![vp]);
+    }
+}

@@ -1,0 +1,371 @@
+//! The simulated fault-tolerant SQL metadata store.
+
+use crate::recovery::RecoveryState;
+use dpr_core::{DprError, Result, ShardId, Token, Version, WorldLine};
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, BTreeSet};
+use std::time::Duration;
+
+/// A DPR cut: one committed version per shard (Definition 3.1).
+///
+/// The tokens of the cut are `(shard, version)` pairs; restoring every shard
+/// to its entry yields a prefix-consistent state for every client session.
+pub type Cut = BTreeMap<ShardId, Version>;
+
+/// The metadata operations DPR needs from its fault-tolerant store.
+///
+/// Mirrors Fig. 4: the *DPR table* (worker → persisted version, which also
+/// acts as cluster membership per §5.3), the durable *precedence graph* for
+/// the exact algorithm, the atomically updated *cut*, and the recovery /
+/// world-line state the cluster manager drives.
+pub trait MetadataStore: Send + Sync {
+    // ---- DPR table / membership -------------------------------------------------
+
+    /// Add a worker row (version 0). Adding a worker is "adding a row in the
+    /// DPR table" (§5.3).
+    fn register_worker(&self, shard: ShardId) -> Result<()>;
+
+    /// Drop a worker row (the worker must have migrated its keys away).
+    fn remove_worker(&self, shard: ShardId) -> Result<()>;
+
+    /// Current membership.
+    fn members(&self) -> Result<Vec<ShardId>>;
+
+    /// `UPDATE dpr SET persistedVersion = v WHERE id = shard`.
+    fn update_persisted_version(&self, shard: ShardId, version: Version) -> Result<()>;
+
+    /// `SELECT min(persistedVersion) FROM dpr` — `None` when the table is
+    /// empty.
+    fn min_persisted_version(&self) -> Result<Option<Version>>;
+
+    /// `SELECT max(persistedVersion) FROM dpr` — the `Vmax` used for
+    /// fast-forwarding lagging shards (§3.4).
+    fn max_persisted_version(&self) -> Result<Option<Version>>;
+
+    /// Full DPR-table snapshot.
+    fn persisted_versions(&self) -> Result<Cut>;
+
+    // ---- precedence graph (exact algorithm) -------------------------------------
+
+    /// Persist a committed version and its dependency edges.
+    fn add_graph_version(&self, token: Token, deps: Vec<Token>) -> Result<()>;
+
+    /// Snapshot of the persisted precedence graph.
+    fn graph_snapshot(&self) -> Result<Vec<(Token, Vec<Token>)>>;
+
+    /// Garbage-collect graph vertices at or below the given cut.
+    fn prune_graph_below(&self, cut: &Cut) -> Result<()>;
+
+    // ---- guaranteed cut ----------------------------------------------------------
+
+    /// Atomically replace the guaranteed cut ("UpdateCutAtomically", Fig. 4).
+    /// Rejected while recovery is in progress (§4.1 halts DPR progress).
+    fn update_cut_atomically(&self, cut: Cut) -> Result<()>;
+
+    /// Read the guaranteed cut (never partially updated).
+    fn read_cut(&self) -> Result<Cut>;
+
+    // ---- world-line / recovery ----------------------------------------------------
+
+    /// The cluster's current world-line.
+    fn world_line(&self) -> Result<WorldLine>;
+
+    /// Begin recovery: bump the world-line, freeze DPR progress, and record
+    /// that every current member must roll back to the guaranteed cut.
+    /// Nested failures re-enter recovery with a further-bumped world-line
+    /// (§7.4 exercises exactly this).
+    fn begin_recovery(&self) -> Result<RecoveryState>;
+
+    /// A worker reports it has rolled back. Returns the updated state;
+    /// recovery completes (and DPR progress resumes) when no workers remain.
+    fn report_rollback_complete(&self, shard: ShardId) -> Result<RecoveryState>;
+
+    /// The in-flight recovery, if any.
+    fn recovery_in_progress(&self) -> Result<Option<RecoveryState>>;
+}
+
+#[derive(Default)]
+struct Tables {
+    dpr: BTreeMap<ShardId, Version>,
+    graph: BTreeMap<Token, Vec<Token>>,
+    cut: Cut,
+    world_line: WorldLine,
+    recovery: Option<RecoveryState>,
+}
+
+/// In-process linearizable table store with per-statement latency injection.
+///
+/// The paper's deployment keeps this state in Azure SQL; a single mutex over
+/// the tables gives the same serializable semantics, and the optional
+/// injected latency models the network round trip. The store itself is
+/// assumed fault-tolerant (as in the paper), so it has no crash mode.
+pub struct SimulatedSqlStore {
+    tables: Mutex<Tables>,
+    latency: Duration,
+}
+
+impl SimulatedSqlStore {
+    /// Store with no injected latency (unit tests).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::with_latency(Duration::ZERO)
+    }
+
+    /// Store charging `latency` per statement.
+    #[must_use]
+    pub fn with_latency(latency: Duration) -> Self {
+        SimulatedSqlStore {
+            tables: Mutex::new(Tables::default()),
+            latency,
+        }
+    }
+
+    fn charge(&self) {
+        if !self.latency.is_zero() {
+            std::thread::sleep(self.latency);
+        }
+    }
+}
+
+impl Default for SimulatedSqlStore {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MetadataStore for SimulatedSqlStore {
+    fn register_worker(&self, shard: ShardId) -> Result<()> {
+        self.charge();
+        let mut t = self.tables.lock();
+        t.dpr.entry(shard).or_insert(Version::ZERO);
+        t.cut.entry(shard).or_insert(Version::ZERO);
+        Ok(())
+    }
+
+    fn remove_worker(&self, shard: ShardId) -> Result<()> {
+        self.charge();
+        let mut t = self.tables.lock();
+        t.dpr.remove(&shard);
+        t.cut.remove(&shard);
+        Ok(())
+    }
+
+    fn members(&self) -> Result<Vec<ShardId>> {
+        self.charge();
+        Ok(self.tables.lock().dpr.keys().copied().collect())
+    }
+
+    fn update_persisted_version(&self, shard: ShardId, version: Version) -> Result<()> {
+        self.charge();
+        let mut t = self.tables.lock();
+        match t.dpr.get_mut(&shard) {
+            Some(v) => {
+                *v = (*v).max(version);
+                Ok(())
+            }
+            None => Err(DprError::Metadata(format!("{shard} not registered"))),
+        }
+    }
+
+    fn min_persisted_version(&self) -> Result<Option<Version>> {
+        self.charge();
+        Ok(self.tables.lock().dpr.values().min().copied())
+    }
+
+    fn max_persisted_version(&self) -> Result<Option<Version>> {
+        self.charge();
+        Ok(self.tables.lock().dpr.values().max().copied())
+    }
+
+    fn persisted_versions(&self) -> Result<Cut> {
+        self.charge();
+        Ok(self.tables.lock().dpr.clone())
+    }
+
+    fn add_graph_version(&self, token: Token, deps: Vec<Token>) -> Result<()> {
+        self.charge();
+        self.tables.lock().graph.insert(token, deps);
+        Ok(())
+    }
+
+    fn graph_snapshot(&self) -> Result<Vec<(Token, Vec<Token>)>> {
+        self.charge();
+        Ok(self
+            .tables
+            .lock()
+            .graph
+            .iter()
+            .map(|(k, v)| (*k, v.clone()))
+            .collect())
+    }
+
+    fn prune_graph_below(&self, cut: &Cut) -> Result<()> {
+        self.charge();
+        self.tables.lock().graph.retain(|token, _| {
+            cut.get(&token.shard)
+                .is_none_or(|&committed| token.version > committed)
+        });
+        Ok(())
+    }
+
+    fn update_cut_atomically(&self, cut: Cut) -> Result<()> {
+        self.charge();
+        let mut t = self.tables.lock();
+        if t.recovery.is_some() {
+            return Err(DprError::Recovering);
+        }
+        // The cut never regresses: a later cut dominates per-shard.
+        for (shard, v) in cut {
+            let entry = t.cut.entry(shard).or_insert(Version::ZERO);
+            *entry = (*entry).max(v);
+        }
+        Ok(())
+    }
+
+    fn read_cut(&self) -> Result<Cut> {
+        self.charge();
+        Ok(self.tables.lock().cut.clone())
+    }
+
+    fn world_line(&self) -> Result<WorldLine> {
+        self.charge();
+        Ok(self.tables.lock().world_line)
+    }
+
+    fn begin_recovery(&self) -> Result<RecoveryState> {
+        self.charge();
+        let mut t = self.tables.lock();
+        t.world_line = t.world_line.next();
+        let state = RecoveryState {
+            world_line: t.world_line,
+            cut: t.cut.clone(),
+            pending: t.dpr.keys().copied().collect::<BTreeSet<_>>(),
+        };
+        t.recovery = Some(state.clone());
+        Ok(state)
+    }
+
+    fn report_rollback_complete(&self, shard: ShardId) -> Result<RecoveryState> {
+        self.charge();
+        let mut t = self.tables.lock();
+        let Some(rec) = t.recovery.as_mut() else {
+            return Err(DprError::Metadata("no recovery in progress".into()));
+        };
+        rec.pending.remove(&shard);
+        let state = rec.clone();
+        if state.complete() {
+            t.recovery = None;
+        }
+        Ok(state)
+    }
+
+    fn recovery_in_progress(&self) -> Result<Option<RecoveryState>> {
+        self.charge();
+        Ok(self.tables.lock().recovery.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shard(i: u32) -> ShardId {
+        ShardId(i)
+    }
+
+    #[test]
+    fn dpr_table_min_max() {
+        let s = SimulatedSqlStore::new();
+        s.register_worker(shard(0)).unwrap();
+        s.register_worker(shard(1)).unwrap();
+        s.update_persisted_version(shard(0), Version(3)).unwrap();
+        s.update_persisted_version(shard(1), Version(5)).unwrap();
+        assert_eq!(s.min_persisted_version().unwrap(), Some(Version(3)));
+        assert_eq!(s.max_persisted_version().unwrap(), Some(Version(5)));
+    }
+
+    #[test]
+    fn persisted_version_never_regresses() {
+        let s = SimulatedSqlStore::new();
+        s.register_worker(shard(0)).unwrap();
+        s.update_persisted_version(shard(0), Version(9)).unwrap();
+        s.update_persisted_version(shard(0), Version(4)).unwrap();
+        assert_eq!(s.min_persisted_version().unwrap(), Some(Version(9)));
+    }
+
+    #[test]
+    fn update_unregistered_worker_fails() {
+        let s = SimulatedSqlStore::new();
+        assert!(s.update_persisted_version(shard(9), Version(1)).is_err());
+    }
+
+    #[test]
+    fn cut_updates_are_monotone() {
+        let s = SimulatedSqlStore::new();
+        s.register_worker(shard(0)).unwrap();
+        s.update_cut_atomically(Cut::from([(shard(0), Version(4))]))
+            .unwrap();
+        s.update_cut_atomically(Cut::from([(shard(0), Version(2))]))
+            .unwrap();
+        assert_eq!(s.read_cut().unwrap()[&shard(0)], Version(4));
+    }
+
+    #[test]
+    fn recovery_halts_cut_progress_and_resumes() {
+        let s = SimulatedSqlStore::new();
+        s.register_worker(shard(0)).unwrap();
+        s.register_worker(shard(1)).unwrap();
+        let rec = s.begin_recovery().unwrap();
+        assert_eq!(rec.world_line, WorldLine(1));
+        assert_eq!(rec.pending.len(), 2);
+        assert!(matches!(
+            s.update_cut_atomically(Cut::new()),
+            Err(DprError::Recovering)
+        ));
+        let st = s.report_rollback_complete(shard(0)).unwrap();
+        assert!(!st.complete());
+        let st = s.report_rollback_complete(shard(1)).unwrap();
+        assert!(st.complete());
+        assert!(s.recovery_in_progress().unwrap().is_none());
+        s.update_cut_atomically(Cut::from([(shard(0), Version(1))]))
+            .unwrap();
+    }
+
+    #[test]
+    fn nested_failure_bumps_world_line_again() {
+        let s = SimulatedSqlStore::new();
+        s.register_worker(shard(0)).unwrap();
+        let r1 = s.begin_recovery().unwrap();
+        // Second failure while the first recovery is still pending.
+        let r2 = s.begin_recovery().unwrap();
+        assert_eq!(r2.world_line, r1.world_line.next());
+        assert_eq!(r2.pending.len(), 1);
+    }
+
+    #[test]
+    fn graph_prune_respects_cut() {
+        let s = SimulatedSqlStore::new();
+        let t = |sh: u32, v: u64| Token::new(shard(sh), Version(v));
+        s.add_graph_version(t(0, 1), vec![]).unwrap();
+        s.add_graph_version(t(0, 2), vec![t(1, 1)]).unwrap();
+        s.add_graph_version(t(1, 1), vec![]).unwrap();
+        let cut = Cut::from([(shard(0), Version(1)), (shard(1), Version(1))]);
+        s.prune_graph_below(&cut).unwrap();
+        let g = s.graph_snapshot().unwrap();
+        assert_eq!(g.len(), 1);
+        assert_eq!(g[0].0, t(0, 2));
+    }
+
+    #[test]
+    fn membership_add_remove() {
+        let s = SimulatedSqlStore::new();
+        s.register_worker(shard(0)).unwrap();
+        s.register_worker(shard(1)).unwrap();
+        assert_eq!(s.members().unwrap().len(), 2);
+        s.remove_worker(shard(0)).unwrap();
+        assert_eq!(s.members().unwrap(), vec![shard(1)]);
+        // min over the remaining member only
+        s.update_persisted_version(shard(1), Version(2)).unwrap();
+        assert_eq!(s.min_persisted_version().unwrap(), Some(Version(2)));
+    }
+}

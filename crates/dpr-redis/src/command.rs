@@ -1,0 +1,142 @@
+//! Commands and replies — a minimal RESP-like surface.
+
+use dpr_core::{Key, Value};
+
+/// A client command.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Command {
+    /// `GET key`.
+    Get(Key),
+    /// `SET key value`.
+    Set(Key, Value),
+    /// `DEL key`.
+    Del(Key),
+    /// `INCR key` — treats the value as a u64 counter, starting at 0.
+    Incr(Key),
+}
+
+impl Command {
+    /// True if the command mutates state (needs AOF logging / makes the
+    /// snapshot dirty).
+    #[must_use]
+    pub fn is_write(&self) -> bool {
+        !matches!(self, Command::Get(_))
+    }
+
+    /// Encode to a compact binary frame (used by the D-Redis proxy batch
+    /// body).
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            Command::Get(k) => {
+                out.push(0);
+                encode_bytes(k.as_bytes(), out);
+            }
+            Command::Set(k, v) => {
+                out.push(1);
+                encode_bytes(k.as_bytes(), out);
+                encode_bytes(v.as_bytes(), out);
+            }
+            Command::Del(k) => {
+                out.push(2);
+                encode_bytes(k.as_bytes(), out);
+            }
+            Command::Incr(k) => {
+                out.push(3);
+                encode_bytes(k.as_bytes(), out);
+            }
+        }
+    }
+
+    /// Decode one frame; returns the command and bytes consumed.
+    #[must_use]
+    pub fn decode(buf: &[u8]) -> Option<(Command, usize)> {
+        let tag = *buf.first()?;
+        let mut pos = 1;
+        let (k, n) = decode_bytes(&buf[pos..])?;
+        pos += n;
+        let key = Key(bytes::Bytes::copy_from_slice(k));
+        let cmd = match tag {
+            0 => Command::Get(key),
+            1 => {
+                let (v, n) = decode_bytes(&buf[pos..])?;
+                pos += n;
+                Command::Set(key, Value(bytes::Bytes::copy_from_slice(v)))
+            }
+            2 => Command::Del(key),
+            3 => Command::Incr(key),
+            _ => return None,
+        };
+        Some((cmd, pos))
+    }
+}
+
+/// A reply to one command.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Reply {
+    /// `GET` result.
+    Value(Option<Value>),
+    /// Acknowledgement of a write.
+    Ok,
+    /// `INCR` result.
+    Int(u64),
+}
+
+fn encode_bytes(b: &[u8], out: &mut Vec<u8>) {
+    out.extend_from_slice(&(b.len() as u32).to_le_bytes());
+    out.extend_from_slice(b);
+}
+
+fn decode_bytes(buf: &[u8]) -> Option<(&[u8], usize)> {
+    if buf.len() < 4 {
+        return None;
+    }
+    let len = u32::from_le_bytes(buf[0..4].try_into().unwrap()) as usize;
+    if buf.len() < 4 + len {
+        return None;
+    }
+    Some((&buf[4..4 + len], 4 + len))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let cmds = vec![
+            Command::Get(Key::from_u64(1)),
+            Command::Set(Key::from_u64(2), Value::from("hello")),
+            Command::Del(Key::from("gone")),
+            Command::Incr(Key::from_u64(3)),
+        ];
+        let mut buf = Vec::new();
+        for c in &cmds {
+            c.encode(&mut buf);
+        }
+        let mut pos = 0;
+        let mut back = Vec::new();
+        while pos < buf.len() {
+            let (c, n) = Command::decode(&buf[pos..]).unwrap();
+            back.push(c);
+            pos += n;
+        }
+        assert_eq!(back, cmds);
+    }
+
+    #[test]
+    fn decode_rejects_truncated() {
+        let mut buf = Vec::new();
+        Command::Set(Key::from_u64(1), Value::from_u64(2)).encode(&mut buf);
+        assert!(Command::decode(&buf[..buf.len() - 1]).is_none());
+        assert!(Command::decode(&[]).is_none());
+        assert!(Command::decode(&[9, 0, 0, 0, 0]).is_none(), "unknown tag");
+    }
+
+    #[test]
+    fn write_classification() {
+        assert!(!Command::Get(Key::from_u64(1)).is_write());
+        assert!(Command::Set(Key::from_u64(1), Value::from_u64(1)).is_write());
+        assert!(Command::Del(Key::from_u64(1)).is_write());
+        assert!(Command::Incr(Key::from_u64(1)).is_write());
+    }
+}

@@ -1,0 +1,92 @@
+//! Snapshot (RDB-style) serialization.
+
+use dpr_core::{DprError, Key, Result, Value};
+use std::collections::HashMap;
+
+/// A point-in-time image of the store.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Snapshot {
+    /// The full key → value map at capture time.
+    pub map: HashMap<Key, Value>,
+}
+
+impl Snapshot {
+    /// Serialize to a compact binary blob: `count u64 | (key_len u32, key,
+    /// val_len u32, val)*`.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16 + self.map.len() * 24);
+        out.extend_from_slice(&(self.map.len() as u64).to_le_bytes());
+        for (k, v) in &self.map {
+            out.extend_from_slice(&(k.len() as u32).to_le_bytes());
+            out.extend_from_slice(k.as_bytes());
+            out.extend_from_slice(&(v.len() as u32).to_le_bytes());
+            out.extend_from_slice(v.as_bytes());
+        }
+        out
+    }
+
+    /// Deserialize a blob produced by [`Snapshot::encode`].
+    pub fn decode(buf: &[u8]) -> Result<Snapshot> {
+        let corrupt = || DprError::Storage("corrupt snapshot".into());
+        if buf.len() < 8 {
+            return Err(corrupt());
+        }
+        let count = u64::from_le_bytes(buf[0..8].try_into().unwrap()) as usize;
+        let mut map = HashMap::with_capacity(count);
+        let mut pos = 8;
+        for _ in 0..count {
+            if buf.len() < pos + 4 {
+                return Err(corrupt());
+            }
+            let klen = u32::from_le_bytes(buf[pos..pos + 4].try_into().unwrap()) as usize;
+            pos += 4;
+            if buf.len() < pos + klen + 4 {
+                return Err(corrupt());
+            }
+            let key = Key(bytes::Bytes::copy_from_slice(&buf[pos..pos + klen]));
+            pos += klen;
+            let vlen = u32::from_le_bytes(buf[pos..pos + 4].try_into().unwrap()) as usize;
+            pos += 4;
+            if buf.len() < pos + vlen {
+                return Err(corrupt());
+            }
+            let value = Value(bytes::Bytes::copy_from_slice(&buf[pos..pos + vlen]));
+            pos += vlen;
+            map.insert(key, value);
+        }
+        Ok(Snapshot { map })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let mut snap = Snapshot::default();
+        for i in 0..100u64 {
+            snap.map.insert(Key::from_u64(i), Value::from_u64(i * 3));
+        }
+        snap.map.insert(Key::from("str"), Value::from("value"));
+        let encoded = snap.encode();
+        let back = Snapshot::decode(&encoded).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn empty_round_trip() {
+        let snap = Snapshot::default();
+        assert_eq!(Snapshot::decode(&snap.encode()).unwrap(), snap);
+    }
+
+    #[test]
+    fn corrupt_blobs_rejected() {
+        let mut snap = Snapshot::default();
+        snap.map.insert(Key::from_u64(1), Value::from_u64(2));
+        let encoded = snap.encode();
+        assert!(Snapshot::decode(&encoded[..encoded.len() - 1]).is_err());
+        assert!(Snapshot::decode(&[1, 2, 3]).is_err());
+    }
+}

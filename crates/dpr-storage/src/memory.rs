@@ -1,0 +1,251 @@
+//! In-memory log device with latency injection and crash simulation.
+
+use crate::device::LogDevice;
+use crate::latency::{LatencyModel, StorageProfile};
+use dpr_core::{DprError, Result};
+use parking_lot::RwLock;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Page granularity of the backing store. Appends may span pages.
+const PAGE_SIZE: usize = 1 << 20;
+
+/// An in-memory [`LogDevice`].
+///
+/// Data lives in 1 MiB pages; `flush` charges the configured
+/// [`LatencyModel`] for the dirty span and advances the durable frontier;
+/// [`MemLogDevice::crash`] discards the volatile suffix, modeling power loss
+/// on a buffered device.
+///
+/// ```
+/// use dpr_storage::{LogDevice, MemLogDevice};
+///
+/// let dev = MemLogDevice::null();
+/// dev.append(b"durable").unwrap();
+/// dev.flush().unwrap();
+/// dev.append(b"volatile").unwrap();
+/// assert_eq!(dev.crash(), 7, "restart at the durable frontier");
+/// ```
+pub struct MemLogDevice {
+    pages: RwLock<Vec<Box<[u8; PAGE_SIZE]>>>,
+    tail: AtomicU64,
+    durable: AtomicU64,
+    truncated: AtomicU64,
+    latency: LatencyModel,
+    flush_count: AtomicU64,
+}
+
+impl MemLogDevice {
+    /// Device with the given latency model.
+    #[must_use]
+    pub fn new(latency: LatencyModel) -> Self {
+        MemLogDevice {
+            pages: RwLock::new(Vec::new()),
+            tail: AtomicU64::new(0),
+            durable: AtomicU64::new(0),
+            truncated: AtomicU64::new(0),
+            latency,
+            flush_count: AtomicU64::new(0),
+        }
+    }
+
+    /// Device for a named profile.
+    #[must_use]
+    pub fn with_profile(profile: StorageProfile) -> Self {
+        Self::new(profile.latency())
+    }
+
+    /// The null device: instantaneous I/O (§7.2's theoretical upper bound).
+    #[must_use]
+    pub fn null() -> Self {
+        Self::new(LatencyModel::zero())
+    }
+
+    /// Simulate a crash: every byte beyond the durable frontier is lost.
+    /// Returns the durable frontier the device restarts at.
+    pub fn crash(&self) -> u64 {
+        let durable = self.durable.load(Ordering::SeqCst);
+        self.tail.store(durable, Ordering::SeqCst);
+        durable
+    }
+
+    /// Number of flush calls served (for tests and bench accounting).
+    #[must_use]
+    pub fn flush_count(&self) -> u64 {
+        self.flush_count.load(Ordering::Relaxed)
+    }
+
+    fn ensure_pages(&self, end: u64) {
+        let need = (end as usize).div_ceil(PAGE_SIZE);
+        let mut pages = self.pages.write();
+        while pages.len() < need {
+            pages.push(Box::new([0u8; PAGE_SIZE]));
+        }
+    }
+}
+
+impl LogDevice for MemLogDevice {
+    fn append(&self, data: &[u8]) -> Result<u64> {
+        let addr = self.tail.fetch_add(data.len() as u64, Ordering::SeqCst);
+        let end = addr + data.len() as u64;
+        self.ensure_pages(end);
+        let pages = self.pages.read();
+        let mut off = addr as usize;
+        let mut rest = data;
+        while !rest.is_empty() {
+            let page = off / PAGE_SIZE;
+            let in_page = off % PAGE_SIZE;
+            let n = rest.len().min(PAGE_SIZE - in_page);
+            // Safety of the unsynchronized write: each append owns a
+            // disjoint [addr, end) range reserved by the fetch_add above, so
+            // concurrent appends never alias. We go through a raw pointer to
+            // express that disjointness.
+            unsafe {
+                let dst = pages[page].as_ptr() as *mut u8;
+                std::ptr::copy_nonoverlapping(rest.as_ptr(), dst.add(in_page), n);
+            }
+            off += n;
+            rest = &rest[n..];
+        }
+        Ok(addr)
+    }
+
+    fn read(&self, addr: u64, buf: &mut [u8]) -> Result<usize> {
+        if addr < self.truncated.load(Ordering::Acquire) {
+            return Err(DprError::Storage(format!("address {addr} truncated")));
+        }
+        let tail = self.tail.load(Ordering::Acquire);
+        if addr >= tail {
+            return Ok(0);
+        }
+        let avail = ((tail - addr) as usize).min(buf.len());
+        let pages = self.pages.read();
+        let mut off = addr as usize;
+        let mut done = 0;
+        while done < avail {
+            let page = off / PAGE_SIZE;
+            let in_page = off % PAGE_SIZE;
+            let n = (avail - done).min(PAGE_SIZE - in_page);
+            buf[done..done + n].copy_from_slice(&pages[page][in_page..in_page + n]);
+            off += n;
+            done += n;
+        }
+        Ok(avail)
+    }
+
+    fn flush(&self) -> Result<u64> {
+        let tail = self.tail.load(Ordering::Acquire);
+        let durable = self.durable.load(Ordering::Acquire);
+        if tail > durable {
+            self.latency.charge_flush(tail - durable);
+            // Another flusher may have advanced past us; keep the max.
+            self.durable.fetch_max(tail, Ordering::SeqCst);
+        }
+        self.flush_count.fetch_add(1, Ordering::Relaxed);
+        Ok(self.durable.load(Ordering::Acquire))
+    }
+
+    fn tail(&self) -> u64 {
+        self.tail.load(Ordering::Acquire)
+    }
+
+    fn durable_frontier(&self) -> u64 {
+        self.durable.load(Ordering::Acquire)
+    }
+
+    fn truncate_before(&self, addr: u64) -> Result<()> {
+        self.truncated.fetch_max(addr, Ordering::SeqCst);
+        // Pages below the truncation point stay allocated in this simple
+        // implementation; a production device would recycle them. The
+        // HybridLog's in-memory circular buffer handles actual reuse.
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::read_exact;
+    use std::sync::Arc;
+
+    #[test]
+    fn append_read_round_trip() {
+        let dev = MemLogDevice::null();
+        let a = dev.append(b"hello").unwrap();
+        let b = dev.append(b"world!").unwrap();
+        assert_eq!(a, 0);
+        assert_eq!(b, 5);
+        let mut buf = [0u8; 6];
+        read_exact(&dev, b, &mut buf).unwrap();
+        assert_eq!(&buf, b"world!");
+    }
+
+    #[test]
+    fn appends_spanning_pages() {
+        let dev = MemLogDevice::null();
+        let big = vec![0xAB; PAGE_SIZE + 123];
+        let a = dev.append(&big).unwrap();
+        let mut buf = vec![0u8; big.len()];
+        read_exact(&dev, a, &mut buf).unwrap();
+        assert_eq!(buf, big);
+    }
+
+    #[test]
+    fn crash_loses_unflushed_suffix() {
+        let dev = MemLogDevice::null();
+        dev.append(b"durable").unwrap();
+        dev.flush().unwrap();
+        dev.append(b"volatile").unwrap();
+        assert_eq!(dev.tail(), 15);
+        let restart = dev.crash();
+        assert_eq!(restart, 7);
+        assert_eq!(dev.tail(), 7);
+        let mut buf = [0u8; 16];
+        assert_eq!(dev.read(7, &mut buf).unwrap(), 0, "lost data unreadable");
+    }
+
+    #[test]
+    fn flush_advances_frontier() {
+        let dev = MemLogDevice::null();
+        assert_eq!(dev.durable_frontier(), 0);
+        dev.append(b"abc").unwrap();
+        assert_eq!(dev.durable_frontier(), 0);
+        assert_eq!(dev.flush().unwrap(), 3);
+        assert_eq!(dev.durable_frontier(), 3);
+    }
+
+    #[test]
+    fn truncated_reads_fail() {
+        let dev = MemLogDevice::null();
+        dev.append(b"0123456789").unwrap();
+        dev.truncate_before(5).unwrap();
+        let mut buf = [0u8; 2];
+        assert!(dev.read(3, &mut buf).is_err());
+        assert!(dev.read(5, &mut buf).is_ok());
+    }
+
+    #[test]
+    fn concurrent_appends_do_not_interleave() {
+        let dev = Arc::new(MemLogDevice::null());
+        let mut handles = Vec::new();
+        for t in 0..8u8 {
+            let d = dev.clone();
+            handles.push(std::thread::spawn(move || {
+                let payload = [t; 64];
+                let mut addrs = Vec::new();
+                for _ in 0..200 {
+                    addrs.push(d.append(&payload).unwrap());
+                }
+                (t, addrs)
+            }));
+        }
+        for h in handles {
+            let (t, addrs) = h.join().unwrap();
+            for a in addrs {
+                let mut buf = [0u8; 64];
+                read_exact(dev.as_ref(), a, &mut buf).unwrap();
+                assert!(buf.iter().all(|&b| b == t), "record torn at {a}");
+            }
+        }
+        assert_eq!(dev.tail(), 8 * 200 * 64);
+    }
+}

@@ -1,0 +1,472 @@
+//! DPR-cut finding (§3.3–3.4, Fig. 4).
+//!
+//! Three algorithms with an accuracy/scalability trade-off:
+//!
+//! * [`ExactFinder`] persists the full precedence graph in the metadata
+//!   store and computes maximal transitive closures — precise, but the graph
+//!   write traffic can bottleneck very large clusters.
+//! * [`ApproximateFinder`] persists only committed version numbers; the cut
+//!   is everything at or below the cluster-wide minimum version (`Vmin`),
+//!   correct because the version clock makes dependencies monotone (§3.2).
+//!   `Vmax` lets lagging shards fast-forward and catch up in bounded time.
+//! * [`HybridFinder`] keeps the exact graph *in memory only* and uses the
+//!   approximate algorithm as its fault-tolerant floor: after a coordinator
+//!   crash, the cut keeps advancing at approximate precision until it passes
+//!   the lost subgraph, then exact precision resumes.
+
+use dpr_core::{Result, Token, Version};
+use dpr_metadata::{Cut, MetadataStore};
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// The cut-finding service interface.
+///
+/// Shards call [`DprFinder::report_commit`] after each local commit; a
+/// periodic [`DprFinder::refresh`] advances the durable cut; clients and
+/// workers read it with [`DprFinder::current_cut`].
+pub trait DprFinder: Send + Sync {
+    /// Report a locally committed version and its cross-shard dependencies.
+    fn report_commit(&self, token: Token, deps: Vec<Token>) -> Result<()>;
+
+    /// Recompute and persist the DPR cut (the coordinator pass). A no-op
+    /// while cluster recovery has progress halted.
+    fn refresh(&self) -> Result<()>;
+
+    /// The current guaranteed cut.
+    fn current_cut(&self) -> Result<Cut>;
+
+    /// The largest committed version in the cluster (`Vmax`), used to
+    /// fast-forward lagging shards (§3.4).
+    fn max_version(&self) -> Result<Version>;
+}
+
+/// Compute the maximal dependency-closed cut from a precedence graph.
+///
+/// `floor` is a known-valid cut (never regressed below); `graph` maps each
+/// committed token to its dependency tokens. A token may be included iff all
+/// its dependencies are at or below the chosen cut; the fixpoint lowers each
+/// shard's candidate until closure holds.
+fn compute_closure_cut(graph: &BTreeMap<Token, Vec<Token>>, floor: &Cut) -> Cut {
+    compute_closure_cut_capped(graph, floor, &Cut::new())
+}
+
+/// Like [`compute_closure_cut`], but shards whose floor has not yet passed
+/// `lost_ceiling` are pinned at the floor: the graph may be missing entries
+/// for their versions at or below the ceiling (a crashed coordinator, §3.4),
+/// so their dependency sets cannot be trusted.
+fn compute_closure_cut_capped(
+    graph: &BTreeMap<Token, Vec<Token>>,
+    floor: &Cut,
+    lost_ceiling: &Cut,
+) -> Cut {
+    let mut cut = floor.clone();
+    // Candidates start at each shard's max committed version — except
+    // shards with a possibly-lost subgraph, which stay at the floor.
+    for token in graph.keys() {
+        let floor_v = floor.get(&token.shard).copied().unwrap_or(Version::ZERO);
+        let ceiling = lost_ceiling
+            .get(&token.shard)
+            .copied()
+            .unwrap_or(Version::ZERO);
+        if floor_v < ceiling {
+            continue;
+        }
+        let e = cut.entry(token.shard).or_insert(Version::ZERO);
+        *e = (*e).max(token.version);
+    }
+    loop {
+        let mut changed = false;
+        for (token, deps) in graph {
+            let current = cut.get(&token.shard).copied().unwrap_or(Version::ZERO);
+            let floor_v = floor.get(&token.shard).copied().unwrap_or(Version::ZERO);
+            if token.version <= floor_v || token.version > current {
+                continue;
+            }
+            let unsatisfied = deps
+                .iter()
+                .any(|d| d.version > cut.get(&d.shard).copied().unwrap_or(Version::ZERO));
+            if unsatisfied {
+                // Exclude this token (and implicitly everything above it on
+                // this shard).
+                let lowered = Version(token.version.0 - 1).max(floor_v);
+                if lowered < current {
+                    cut.insert(token.shard, lowered);
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            return cut;
+        }
+    }
+}
+
+/// The exact algorithm: durable precedence graph + coordinator traversal.
+pub struct ExactFinder {
+    meta: Arc<dyn MetadataStore>,
+}
+
+impl ExactFinder {
+    /// Finder over the shared metadata store.
+    pub fn new(meta: Arc<dyn MetadataStore>) -> Self {
+        ExactFinder { meta }
+    }
+}
+
+impl DprFinder for ExactFinder {
+    fn report_commit(&self, token: Token, deps: Vec<Token>) -> Result<()> {
+        // Also maintain the DPR table so Vmax and membership stay accurate.
+        self.meta
+            .update_persisted_version(token.shard, token.version)?;
+        self.meta.add_graph_version(token, deps)
+    }
+
+    fn refresh(&self) -> Result<()> {
+        let floor = self.meta.read_cut()?;
+        let graph: BTreeMap<Token, Vec<Token>> = self.meta.graph_snapshot()?.into_iter().collect();
+        let cut = compute_closure_cut(&graph, &floor);
+        match self.meta.update_cut_atomically(cut.clone()) {
+            Ok(()) => {
+                self.meta.prune_graph_below(&cut)?;
+                Ok(())
+            }
+            Err(dpr_core::DprError::Recovering) => Ok(()),
+            Err(e) => Err(e),
+        }
+    }
+
+    fn current_cut(&self) -> Result<Cut> {
+        self.meta.read_cut()
+    }
+
+    fn max_version(&self) -> Result<Version> {
+        Ok(self.meta.max_persisted_version()?.unwrap_or(Version::ZERO))
+    }
+}
+
+/// The approximate algorithm: `SELECT min(persistedVersion) FROM dpr`.
+///
+/// ```
+/// use libdpr::{ApproximateFinder, DprFinder};
+/// use dpr_metadata::{MetadataStore, SimulatedSqlStore};
+/// use dpr_core::{ShardId, Token, Version};
+/// use std::sync::Arc;
+///
+/// let meta = Arc::new(SimulatedSqlStore::new());
+/// meta.register_worker(ShardId(0)).unwrap();
+/// meta.register_worker(ShardId(1)).unwrap();
+/// let finder = ApproximateFinder::new(meta);
+/// finder.report_commit(Token::new(ShardId(0), Version(3)), vec![]).unwrap();
+/// finder.report_commit(Token::new(ShardId(1), Version(5)), vec![]).unwrap();
+/// finder.refresh().unwrap();
+/// // The cut is Vmin for everyone; Vmax drives fast-forwarding.
+/// assert_eq!(finder.current_cut().unwrap()[&ShardId(1)], Version(3));
+/// assert_eq!(finder.max_version().unwrap(), Version(5));
+/// ```
+pub struct ApproximateFinder {
+    meta: Arc<dyn MetadataStore>,
+}
+
+impl ApproximateFinder {
+    /// Finder over the shared metadata store.
+    pub fn new(meta: Arc<dyn MetadataStore>) -> Self {
+        ApproximateFinder { meta }
+    }
+
+    fn min_cut(&self) -> Result<Cut> {
+        let vmin = self.meta.min_persisted_version()?.unwrap_or(Version::ZERO);
+        Ok(self
+            .meta
+            .members()?
+            .into_iter()
+            .map(|s| (s, vmin))
+            .collect())
+    }
+}
+
+impl DprFinder for ApproximateFinder {
+    fn report_commit(&self, token: Token, _deps: Vec<Token>) -> Result<()> {
+        // Dependency information is discarded — monotonicity makes Vmin safe.
+        self.meta
+            .update_persisted_version(token.shard, token.version)
+    }
+
+    fn refresh(&self) -> Result<()> {
+        let cut = self.min_cut()?;
+        match self.meta.update_cut_atomically(cut) {
+            Ok(()) | Err(dpr_core::DprError::Recovering) => Ok(()),
+            Err(e) => Err(e),
+        }
+    }
+
+    fn current_cut(&self) -> Result<Cut> {
+        self.meta.read_cut()
+    }
+
+    fn max_version(&self) -> Result<Version> {
+        Ok(self.meta.max_persisted_version()?.unwrap_or(Version::ZERO))
+    }
+}
+
+/// The hybrid: exact precision from an in-memory graph, approximate floor
+/// for fault tolerance (§3.4).
+pub struct HybridFinder {
+    meta: Arc<dyn MetadataStore>,
+    approx: ApproximateFinder,
+    graph: Mutex<BTreeMap<Token, Vec<Token>>>,
+    /// Per shard, the highest version whose graph entry may have been lost
+    /// (coordinator crash/restart). The exact component may not advance a
+    /// shard past its floor until the floor passes this ceiling — the
+    /// coordinator "cannot be certain of its dependency set in the lost
+    /// subgraph" (§3.4).
+    lost_ceiling: Mutex<Cut>,
+}
+
+impl HybridFinder {
+    /// Finder over the shared metadata store. A freshly constructed
+    /// coordinator treats everything already persisted as possibly-lost
+    /// (it has no graph for it), so a restarted coordinator is safe by
+    /// construction.
+    pub fn new(meta: Arc<dyn MetadataStore>) -> Self {
+        let lost_ceiling = meta.persisted_versions().unwrap_or_default();
+        HybridFinder {
+            approx: ApproximateFinder::new(meta.clone()),
+            meta,
+            graph: Mutex::new(BTreeMap::new()),
+            lost_ceiling: Mutex::new(lost_ceiling),
+        }
+    }
+
+    /// Simulate a coordinator crash: the in-memory precedence graph is lost.
+    /// The cut keeps advancing via the approximate floor, and exact
+    /// precision resumes per shard once the floor passes the lost region.
+    pub fn simulate_coordinator_crash(&self) {
+        self.graph.lock().clear();
+        *self.lost_ceiling.lock() = self.meta.persisted_versions().unwrap_or_default();
+    }
+}
+
+impl DprFinder for HybridFinder {
+    fn report_commit(&self, token: Token, deps: Vec<Token>) -> Result<()> {
+        self.meta
+            .update_persisted_version(token.shard, token.version)?;
+        self.graph.lock().insert(token, deps);
+        Ok(())
+    }
+
+    fn refresh(&self) -> Result<()> {
+        // Approximate floor first (durable, crash-safe)...
+        let approx_floor = self.approx.min_cut()?;
+        let mut floor = self.meta.read_cut()?;
+        for (s, v) in approx_floor {
+            let e = floor.entry(s).or_insert(Version::ZERO);
+            *e = (*e).max(v);
+        }
+        // ...then exact refinement from whatever graph is in memory,
+        // holding back shards whose lost subgraph the floor has not yet
+        // cleared.
+        let cut = {
+            let ceiling = self.lost_ceiling.lock().clone();
+            let mut graph = self.graph.lock();
+            let cut = compute_closure_cut_capped(&graph, &floor, &ceiling);
+            graph.retain(|t, _| cut.get(&t.shard).copied().unwrap_or(Version::ZERO) < t.version);
+            cut
+        };
+        match self.meta.update_cut_atomically(cut) {
+            Ok(()) | Err(dpr_core::DprError::Recovering) => Ok(()),
+            Err(e) => Err(e),
+        }
+    }
+
+    fn current_cut(&self) -> Result<Cut> {
+        self.meta.read_cut()
+    }
+
+    fn max_version(&self) -> Result<Version> {
+        Ok(self.meta.max_persisted_version()?.unwrap_or(Version::ZERO))
+    }
+}
+
+/// Check that `cut` is closed under the dependency relation of `graph` —
+/// the defining property of a DPR cut (Definition 3.1). Exposed for tests
+/// and property checks.
+#[must_use]
+pub fn cut_is_closed(graph: &BTreeMap<Token, Vec<Token>>, cut: &Cut) -> bool {
+    graph.iter().all(|(token, deps)| {
+        let included = token.version <= cut.get(&token.shard).copied().unwrap_or(Version::ZERO);
+        !included
+            || deps
+                .iter()
+                .all(|d| d.version <= cut.get(&d.shard).copied().unwrap_or(Version::ZERO))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpr_core::ShardId;
+    use dpr_metadata::SimulatedSqlStore;
+
+    fn t(s: u32, v: u64) -> Token {
+        Token::new(ShardId(s), Version(v))
+    }
+
+    fn setup(shards: u32) -> (Arc<SimulatedSqlStore>, Vec<ShardId>) {
+        let meta = Arc::new(SimulatedSqlStore::new());
+        let ids: Vec<ShardId> = (0..shards).map(ShardId).collect();
+        for &s in &ids {
+            meta.register_worker(s).unwrap();
+        }
+        (meta, ids)
+    }
+
+    #[test]
+    fn fig3_staggered_commits_never_form_a_cut() {
+        // The Fig. 3 counter-example: every token depends on a future token
+        // of the other shard, so no non-trivial cut exists.
+        let (meta, _) = setup(2);
+        let finder = ExactFinder::new(meta);
+        finder.report_commit(t(0, 1), vec![t(1, 1)]).unwrap();
+        finder.report_commit(t(1, 1), vec![t(0, 2)]).unwrap();
+        finder.report_commit(t(0, 2), vec![t(1, 2)]).unwrap();
+        finder.report_commit(t(1, 2), vec![t(0, 3)]).unwrap();
+        finder.refresh().unwrap();
+        let cut = finder.current_cut().unwrap();
+        assert_eq!(cut[&ShardId(0)], Version::ZERO);
+        assert_eq!(cut[&ShardId(1)], Version::ZERO);
+    }
+
+    #[test]
+    fn monotone_dependencies_allow_progress() {
+        // With the §3.2 version clock, dependencies never point upward, so
+        // the cut advances.
+        let (meta, _) = setup(2);
+        let finder = ExactFinder::new(meta);
+        finder.report_commit(t(0, 1), vec![]).unwrap();
+        finder.report_commit(t(1, 1), vec![t(0, 1)]).unwrap();
+        finder.report_commit(t(0, 2), vec![t(1, 1)]).unwrap();
+        finder.refresh().unwrap();
+        let cut = finder.current_cut().unwrap();
+        assert_eq!(cut[&ShardId(0)], Version(2));
+        assert_eq!(cut[&ShardId(1)], Version(1));
+    }
+
+    #[test]
+    fn exact_excludes_tokens_with_uncommitted_deps() {
+        let (meta, _) = setup(2);
+        let finder = ExactFinder::new(meta);
+        // Shard 0 committed v1, v2; v2 depends on shard 1's v1 which has
+        // NOT committed yet.
+        finder.report_commit(t(0, 1), vec![]).unwrap();
+        finder.report_commit(t(0, 2), vec![t(1, 1)]).unwrap();
+        finder.refresh().unwrap();
+        let cut = finder.current_cut().unwrap();
+        assert_eq!(cut[&ShardId(0)], Version(1), "v2 held back");
+        assert_eq!(cut[&ShardId(1)], Version::ZERO);
+        // Once shard 1 commits, v2 is admitted.
+        finder.report_commit(t(1, 1), vec![]).unwrap();
+        finder.refresh().unwrap();
+        let cut = finder.current_cut().unwrap();
+        assert_eq!(cut[&ShardId(0)], Version(2));
+        assert_eq!(cut[&ShardId(1)], Version(1));
+    }
+
+    #[test]
+    fn exact_prunes_graph_below_cut() {
+        let (meta, _) = setup(1);
+        let finder = ExactFinder::new(meta.clone());
+        finder.report_commit(t(0, 1), vec![]).unwrap();
+        finder.report_commit(t(0, 2), vec![]).unwrap();
+        finder.refresh().unwrap();
+        assert!(
+            meta.graph_snapshot().unwrap().is_empty(),
+            "all committed → pruned"
+        );
+    }
+
+    #[test]
+    fn approximate_cut_is_vmin_everywhere() {
+        let (meta, _) = setup(3);
+        let finder = ApproximateFinder::new(meta);
+        finder.report_commit(t(0, 3), vec![]).unwrap();
+        finder.report_commit(t(1, 5), vec![]).unwrap();
+        finder.report_commit(t(2, 4), vec![]).unwrap();
+        finder.refresh().unwrap();
+        let cut = finder.current_cut().unwrap();
+        for s in 0..3 {
+            assert_eq!(cut[&ShardId(s)], Version(3));
+        }
+        assert_eq!(finder.max_version().unwrap(), Version(5));
+    }
+
+    #[test]
+    fn approximate_false_dependency_holds_back_fast_shard() {
+        // The §3.4 caveat: a slow shard drags everyone to its pace.
+        let (meta, _) = setup(2);
+        let finder = ApproximateFinder::new(meta);
+        finder.report_commit(t(0, 10), vec![]).unwrap();
+        // Shard 1 never commits (version 0).
+        finder.refresh().unwrap();
+        let cut = finder.current_cut().unwrap();
+        assert_eq!(cut[&ShardId(0)], Version::ZERO, "held hostage by shard 1");
+    }
+
+    #[test]
+    fn hybrid_survives_coordinator_crash_via_approximate_floor() {
+        let (meta, _) = setup(2);
+        let finder = HybridFinder::new(meta);
+        finder.report_commit(t(0, 1), vec![]).unwrap();
+        finder.report_commit(t(1, 1), vec![t(0, 1)]).unwrap();
+        finder.refresh().unwrap();
+        assert_eq!(finder.current_cut().unwrap()[&ShardId(1)], Version(1));
+        // Coordinator crashes; the in-memory graph is lost.
+        finder.simulate_coordinator_crash();
+        // New commits arrive whose deps reference the lost subgraph region.
+        finder.report_commit(t(0, 3), vec![t(1, 2)]).unwrap();
+        finder.report_commit(t(1, 2), vec![t(0, 2)]).unwrap();
+        // t(0,2)'s graph entry was lost before ever being reported — but
+        // shard 0's persisted version (3) floors Vmin handling.
+        finder.refresh().unwrap();
+        let cut = finder.current_cut().unwrap();
+        // Approximate floor: Vmin = min(3, 2) = 2 → both shards at ≥ 2.
+        assert!(cut[&ShardId(0)] >= Version(2));
+        assert!(cut[&ShardId(1)] >= Version(2));
+    }
+
+    #[test]
+    fn hybrid_is_exact_in_failure_free_operation() {
+        let (meta, _) = setup(2);
+        let finder = HybridFinder::new(meta);
+        // Shard 0 is far ahead; approximate alone would hold it at Vmin=1,
+        // but the exact graph shows no dependencies, so it advances.
+        finder.report_commit(t(0, 5), vec![]).unwrap();
+        finder.report_commit(t(1, 1), vec![]).unwrap();
+        finder.refresh().unwrap();
+        let cut = finder.current_cut().unwrap();
+        assert_eq!(cut[&ShardId(0)], Version(5), "exact precision preserved");
+        assert_eq!(cut[&ShardId(1)], Version(1));
+    }
+
+    #[test]
+    fn closure_checker_accepts_and_rejects() {
+        let graph: BTreeMap<Token, Vec<Token>> = [
+            (t(0, 1), vec![]),
+            (t(1, 1), vec![t(0, 1)]),
+            (t(0, 2), vec![t(1, 2)]),
+        ]
+        .into_iter()
+        .collect();
+        let good: Cut = [(ShardId(0), Version(1)), (ShardId(1), Version(1))]
+            .into_iter()
+            .collect();
+        assert!(cut_is_closed(&graph, &good));
+        let bad: Cut = [(ShardId(0), Version(2)), (ShardId(1), Version(1))]
+            .into_iter()
+            .collect();
+        assert!(
+            !cut_is_closed(&graph, &bad),
+            "includes t(0,2) with unmet dep"
+        );
+    }
+}

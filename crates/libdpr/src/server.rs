@@ -1,0 +1,359 @@
+//! Server-side batch gate (§6).
+//!
+//! `libDPR is invoked before and after each request batch is processed`: the
+//! *before* hook ([`DprServer::validate`]) checks world-lines and the
+//! version lower bound (triggering a commit when a client is ahead, the
+//! §3.2 progress rule); the *after* hook ([`DprServer::record_batch`] +
+//! [`DprServer::make_reply`]) accumulates dependency edges for the version
+//! the batch executed in and builds the reply header.
+
+use crate::finder::DprFinder;
+use crate::header::{BatchHeader, BatchReply};
+use crate::state_object::StateObject;
+use dpr_core::{DprError, Result, ShardId, Token, Version, WorldLine};
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// What to do with an incoming batch.
+#[derive(Debug)]
+pub enum BatchDisposition {
+    /// Safe to execute now.
+    Execute,
+    /// The client is on a later version than the shard; a commit has been
+    /// requested — re-validate after it completes.
+    Delay,
+    /// The batch must be rejected (world-line problems).
+    Reject(DprError),
+}
+
+/// Per-shard server-side DPR state.
+pub struct DprServer {
+    shard: ShardId,
+    world_line: AtomicU64,
+    /// Dependency tokens accumulated per (open) version.
+    deps: Mutex<BTreeMap<Version, BTreeSet<Token>>>,
+}
+
+impl DprServer {
+    /// Server state for `shard`, starting on the initial world-line.
+    #[must_use]
+    pub fn new(shard: ShardId) -> Self {
+        DprServer {
+            shard,
+            world_line: AtomicU64::new(WorldLine::INITIAL.0),
+            deps: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// This shard's id.
+    #[must_use]
+    pub fn shard(&self) -> ShardId {
+        self.shard
+    }
+
+    /// The world-line this shard is on.
+    #[must_use]
+    pub fn world_line(&self) -> WorldLine {
+        WorldLine(self.world_line.load(Ordering::Acquire))
+    }
+
+    /// Advance the world-line after a restore (§4.2: "a StateObject
+    /// advances its world-line by calling Restore()").
+    pub fn set_world_line(&self, wl: WorldLine) {
+        self.world_line.fetch_max(wl.0, Ordering::AcqRel);
+    }
+
+    /// The *before* hook: decide whether a batch may execute.
+    pub fn validate(&self, header: &BatchHeader, so: &dyn StateObject) -> BatchDisposition {
+        let ours = self.world_line();
+        if header.world_line < ours {
+            // Client is behind a failure it has not seen yet.
+            return BatchDisposition::Reject(DprError::WorldLineMismatch {
+                requested: header.world_line,
+                current: ours,
+            });
+        }
+        if header.world_line > ours {
+            // We are still recovering; the client must retry.
+            return BatchDisposition::Reject(DprError::Recovering);
+        }
+        if header.version_lower_bound > so.current_version() {
+            // §3.2: execute only once our version has caught up; trigger a
+            // commit that fast-forwards to the client's clock.
+            so.request_commit(Some(header.version_lower_bound));
+            return BatchDisposition::Delay;
+        }
+        BatchDisposition::Execute
+    }
+
+    /// Convenience for in-process deployments: validate, waiting out any
+    /// `Delay` by ticking the store's commit machinery.
+    pub fn validate_blocking(
+        &self,
+        header: &BatchHeader,
+        so: &dyn StateObject,
+        timeout: Duration,
+    ) -> Result<()> {
+        let start = Instant::now();
+        loop {
+            match self.validate(header, so) {
+                BatchDisposition::Execute => return Ok(()),
+                BatchDisposition::Reject(e) => return Err(e),
+                BatchDisposition::Delay => {
+                    if start.elapsed() > timeout {
+                        return Err(DprError::Timeout);
+                    }
+                    std::thread::yield_now();
+                }
+            }
+        }
+    }
+
+    /// The *after* hook: record the batch's dependency edges against the
+    /// version it executed in.
+    pub fn record_batch(&self, header: &BatchHeader, executed_version: Version) {
+        if header.deps.is_empty() {
+            return;
+        }
+        let mut deps = self.deps.lock();
+        let set = deps.entry(executed_version).or_default();
+        for d in &header.deps {
+            if d.shard != self.shard && d.version > Version::ZERO {
+                set.insert(*d);
+            }
+        }
+    }
+
+    /// Build the reply header for a batch executed at `version`.
+    #[must_use]
+    pub fn make_reply(&self, header: &BatchHeader, version: Version) -> BatchReply {
+        BatchReply {
+            shard: self.shard,
+            world_line: self.world_line(),
+            version,
+            first_serial: header.first_serial,
+            op_count: header.op_count,
+        }
+    }
+
+    /// Drain completed local commits to the finder, attaching accumulated
+    /// dependencies. Call periodically (background thread). Returns the
+    /// versions reported.
+    pub fn pump_commits(
+        &self,
+        so: &dyn StateObject,
+        finder: &dyn DprFinder,
+    ) -> Result<Vec<Version>> {
+        let commits = so.take_commits();
+        if commits.is_empty() {
+            return Ok(Vec::new());
+        }
+        let mut reported = Vec::with_capacity(commits.len());
+        for desc in commits {
+            // Everything accumulated at or below this version belongs to it
+            // (versions are sealed in order).
+            let dep_tokens: Vec<Token> = {
+                let mut deps = self.deps.lock();
+                let mut below = deps.split_off(&desc.version.next());
+                std::mem::swap(&mut below, &mut deps);
+                below.into_values().flatten().collect()
+            };
+            finder.report_commit(Token::new(self.shard, desc.version), dep_tokens)?;
+            reported.push(desc.version);
+        }
+        Ok(reported)
+    }
+
+    /// Discard dependency state for versions rolled back by a restore.
+    pub fn on_restore(&self, v_safe: Version) {
+        let mut deps = self.deps.lock();
+        deps.split_off(&v_safe.next());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::finder::ApproximateFinder;
+    use crate::state_object::CommitDescriptor;
+    use dpr_core::SessionId;
+    use dpr_metadata::{MetadataStore, SimulatedSqlStore};
+    use std::sync::Arc;
+
+    /// Minimal StateObject mock.
+    struct MockSo {
+        shard: ShardId,
+        current: AtomicU64,
+        durable: AtomicU64,
+        pending_commits: Mutex<Vec<CommitDescriptor>>,
+    }
+
+    impl MockSo {
+        fn new(shard: u32) -> Self {
+            MockSo {
+                shard: ShardId(shard),
+                current: AtomicU64::new(1),
+                durable: AtomicU64::new(0),
+                pending_commits: Mutex::new(Vec::new()),
+            }
+        }
+
+        fn complete_commit(&self) {
+            let v = self.current.fetch_add(1, Ordering::SeqCst);
+            self.durable.store(v, Ordering::SeqCst);
+            self.pending_commits.lock().push(CommitDescriptor {
+                version: Version(v),
+            });
+        }
+    }
+
+    impl StateObject for MockSo {
+        fn shard(&self) -> ShardId {
+            self.shard
+        }
+        fn current_version(&self) -> Version {
+            Version(self.current.load(Ordering::SeqCst))
+        }
+        fn durable_version(&self) -> Version {
+            Version(self.durable.load(Ordering::SeqCst))
+        }
+        fn request_commit(&self, target: Option<Version>) -> bool {
+            // Complete instantly, jumping to the target.
+            let v = self.current.load(Ordering::SeqCst);
+            self.durable.store(v, Ordering::SeqCst);
+            self.pending_commits.lock().push(CommitDescriptor {
+                version: Version(v),
+            });
+            let next = target.map_or(v + 1, |t| t.0.max(v + 1));
+            self.current.store(next, Ordering::SeqCst);
+            true
+        }
+        fn take_commits(&self) -> Vec<CommitDescriptor> {
+            std::mem::take(&mut *self.pending_commits.lock())
+        }
+        fn restore(&self, version: Version) -> Result<()> {
+            self.durable.store(version.0, Ordering::SeqCst);
+            self.current.store(version.0 + 1, Ordering::SeqCst);
+            Ok(())
+        }
+    }
+
+    fn header(wl: u64, lb: u64, deps: Vec<Token>) -> BatchHeader {
+        BatchHeader {
+            session: SessionId(1),
+            world_line: WorldLine(wl),
+            version_lower_bound: Version(lb),
+            deps,
+            first_serial: 0,
+            op_count: 1,
+        }
+    }
+
+    #[test]
+    fn validate_world_lines() {
+        let server = DprServer::new(ShardId(0));
+        let so = MockSo::new(0);
+        server.set_world_line(WorldLine(2));
+        // Stale client.
+        match server.validate(&header(1, 0, vec![]), &so) {
+            BatchDisposition::Reject(DprError::WorldLineMismatch { .. }) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+        // Client ahead of a recovering shard.
+        match server.validate(&header(3, 0, vec![]), &so) {
+            BatchDisposition::Reject(DprError::Recovering) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+        // Matching world-line.
+        match server.validate(&header(2, 0, vec![]), &so) {
+            BatchDisposition::Execute => {}
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn version_lower_bound_triggers_commit_and_delay() {
+        let server = DprServer::new(ShardId(0));
+        let so = MockSo::new(0);
+        assert_eq!(so.current_version(), Version(1));
+        match server.validate(&header(0, 5, vec![]), &so) {
+            BatchDisposition::Delay => {}
+            other => panic!("unexpected {other:?}"),
+        }
+        // The mock commit fast-forwarded to 5; validation now passes.
+        assert!(so.current_version() >= Version(5));
+        match server.validate(&header(0, 5, vec![]), &so) {
+            BatchDisposition::Execute => {}
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn validate_blocking_waits_out_delay() {
+        let server = DprServer::new(ShardId(0));
+        let so = MockSo::new(0);
+        server
+            .validate_blocking(&header(0, 3, vec![]), &so, Duration::from_secs(1))
+            .unwrap();
+        assert!(so.current_version() >= Version(3));
+    }
+
+    #[test]
+    fn pump_commits_reports_accumulated_deps() {
+        let meta = Arc::new(SimulatedSqlStore::new());
+        meta.register_worker(ShardId(0)).unwrap();
+        meta.register_worker(ShardId(1)).unwrap();
+        let finder = ApproximateFinder::new(meta.clone());
+        let server = DprServer::new(ShardId(0));
+        let so = MockSo::new(0);
+        server.record_batch(
+            &header(0, 0, vec![Token::new(ShardId(1), Version(2))]),
+            Version(1),
+        );
+        so.complete_commit();
+        let reported = server.pump_commits(&so, &finder).unwrap();
+        assert_eq!(reported, vec![Version(1)]);
+        assert_eq!(meta.persisted_versions().unwrap()[&ShardId(0)], Version(1));
+        // Deps for version 1 were drained.
+        assert!(server.deps.lock().is_empty());
+    }
+
+    #[test]
+    fn self_and_zero_deps_filtered() {
+        let server = DprServer::new(ShardId(0));
+        server.record_batch(
+            &header(
+                0,
+                0,
+                vec![
+                    Token::new(ShardId(0), Version(9)),    // self
+                    Token::new(ShardId(1), Version::ZERO), // trivial
+                    Token::new(ShardId(2), Version(1)),
+                ],
+            ),
+            Version(1),
+        );
+        let deps = server.deps.lock();
+        let set = &deps[&Version(1)];
+        assert_eq!(set.len(), 1);
+        assert!(set.contains(&Token::new(ShardId(2), Version(1))));
+    }
+
+    #[test]
+    fn restore_drops_dependency_state_above_safe_point() {
+        let server = DprServer::new(ShardId(0));
+        for v in 1..=5u64 {
+            server.record_batch(
+                &header(0, 0, vec![Token::new(ShardId(1), Version(v))]),
+                Version(v),
+            );
+        }
+        server.on_restore(Version(2));
+        let deps = server.deps.lock();
+        assert!(deps.contains_key(&Version(1)));
+        assert!(deps.contains_key(&Version(2)));
+        assert!(!deps.contains_key(&Version(3)));
+    }
+}

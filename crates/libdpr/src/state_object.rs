@@ -1,0 +1,49 @@
+//! The `StateObject` abstraction (§3).
+
+use dpr_core::{Result, ShardId, Version};
+
+/// Description of one completed `Commit()`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CommitDescriptor {
+    /// The version the commit sealed (the token is `(shard, version)`).
+    pub version: Version,
+}
+
+/// A shard of the distributed cache-store, as DPR sees it (§3):
+///
+/// * `Op()` — executing operations is the *embedding system's* job (the
+///   worker forwards request bodies straight to its store); DPR only needs
+///   the version each op executed in, which the store reports per op or per
+///   batch.
+/// * `Commit()` — [`StateObject::request_commit`] starts an asynchronous
+///   group commit; completed commits are drained with
+///   [`StateObject::take_commits`].
+/// * `Restore()` — [`StateObject::restore`] returns the shard to a committed
+///   version, discarding everything after it.
+///
+/// Implementations in this workspace: the FASTER adapter (deep integration,
+/// non-blocking restore) and the Redis adapter (wrapped, restart-based
+/// restore) in `dpr-cluster`.
+pub trait StateObject: Send + Sync {
+    /// This shard's id.
+    fn shard(&self) -> ShardId;
+
+    /// The version currently assigned to new operations.
+    fn current_version(&self) -> Version;
+
+    /// The latest locally durable (committed) version.
+    fn durable_version(&self) -> Version;
+
+    /// Request an asynchronous commit. With `target`, the shard
+    /// fast-forwards its next version to at least `target` (§3.4 `Vmax`
+    /// catch-up). Returns false if a commit is already in flight and the
+    /// request was absorbed.
+    fn request_commit(&self, target: Option<Version>) -> bool;
+
+    /// Drain commits completed since the last call, oldest first.
+    fn take_commits(&self) -> Vec<CommitDescriptor>;
+
+    /// Restore the shard to `version`, discarding all later state. May be
+    /// asynchronous; `durable_version`/`current_version` reflect completion.
+    fn restore(&self, version: Version) -> Result<()>;
+}

@@ -1,0 +1,207 @@
+//! Property-based tests of the DPR-cut finders (Definition 3.1): every cut
+//! any finder emits must be closed under the dependency relation, must
+//! never regress, and — for monotone graphs, the ones the §3.2 version
+//! clock actually produces — must make progress.
+
+use dpr::core::{ShardId, Token, Version};
+use dpr::metadata::{MetadataStore, SimulatedSqlStore};
+use dpr::protocol::finder::cut_is_closed;
+use dpr::protocol::{ApproximateFinder, DprFinder, ExactFinder, HybridFinder};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+const SHARDS: u32 = 4;
+
+/// A randomly generated commit event: shard, version bump, and dependency
+/// versions on the other shards (clamped for monotonicity when requested).
+#[derive(Debug, Clone)]
+struct Commit {
+    shard: u32,
+    deps: Vec<(u32, u64)>,
+}
+
+fn commit_strategy() -> impl Strategy<Value = Commit> {
+    (
+        0..SHARDS,
+        prop::collection::vec((0..SHARDS, 0..20u64), 0..3),
+    )
+        .prop_map(|(shard, deps)| Commit { shard, deps })
+}
+
+/// Replay commits against a finder with per-shard version counters.
+/// `monotone` clamps dependency versions to ≤ the issuing token's version
+/// (what the Lamport clock guarantees).
+fn replay(
+    finder: &dyn DprFinder,
+    commits: &[Commit],
+    monotone: bool,
+) -> BTreeMap<Token, Vec<Token>> {
+    let mut versions = [0u64; SHARDS as usize];
+    let mut graph = BTreeMap::new();
+    for c in commits {
+        versions[c.shard as usize] += 1;
+        let v = versions[c.shard as usize];
+        let deps: Vec<Token> = c
+            .deps
+            .iter()
+            .filter(|(s, _)| *s != c.shard)
+            .map(|(s, dv)| {
+                let dv = if monotone { (*dv).min(v) } else { *dv };
+                Token::new(ShardId(*s), Version(dv))
+            })
+            .collect();
+        let token = Token::new(ShardId(c.shard), Version(v));
+        graph.insert(token, deps.clone());
+        finder.report_commit(token, deps).unwrap();
+    }
+    graph
+}
+
+fn setup() -> Arc<SimulatedSqlStore> {
+    let meta = Arc::new(SimulatedSqlStore::new());
+    for s in 0..SHARDS {
+        meta.register_worker(ShardId(s)).unwrap();
+    }
+    meta
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn exact_cut_is_always_closed(commits in prop::collection::vec(commit_strategy(), 1..60)) {
+        let meta = setup();
+        let finder = ExactFinder::new(meta);
+        // Even for adversarial (non-monotone) graphs the cut must be valid.
+        let graph = replay(&finder, &commits, false);
+        finder.refresh().unwrap();
+        let cut = finder.current_cut().unwrap();
+        prop_assert!(cut_is_closed(&graph, &cut), "cut {cut:?} not closed for {graph:?}");
+    }
+
+    #[test]
+    fn exact_cut_is_monotone_across_refreshes(commits in prop::collection::vec(commit_strategy(), 2..60)) {
+        let meta = setup();
+        let finder = ExactFinder::new(meta);
+        let mut versions = [0u64; SHARDS as usize];
+        let mut prev = finder.current_cut().unwrap();
+        for c in &commits {
+            versions[c.shard as usize] += 1;
+            let v = versions[c.shard as usize];
+            let deps: Vec<Token> = c
+                .deps
+                .iter()
+                .filter(|(s, _)| *s != c.shard)
+                .map(|(s, dv)| Token::new(ShardId(*s), Version((*dv).min(v))))
+                .collect();
+            finder.report_commit(Token::new(ShardId(c.shard), Version(v)), deps).unwrap();
+            finder.refresh().unwrap();
+            let cut = finder.current_cut().unwrap();
+            for (shard, v) in &prev {
+                prop_assert!(cut.get(shard).copied().unwrap_or(Version::ZERO) >= *v,
+                    "cut regressed on {shard}");
+            }
+            prev = cut;
+        }
+    }
+
+    #[test]
+    fn monotone_graphs_eventually_commit_everything(commits in prop::collection::vec(commit_strategy(), 1..60)) {
+        // With the version clock (monotone deps), once every shard has
+        // committed its max version, the exact cut covers every token
+        // (progress, §3.2).
+        let meta = setup();
+        let finder = ExactFinder::new(meta);
+        let graph = replay(&finder, &commits, true);
+        // Make sure every shard has committed up to the max version any dep
+        // references (deps may point to not-yet-committed same-or-lower
+        // versions of other shards).
+        let mut max_needed = [0u64; SHARDS as usize];
+        for (t, deps) in &graph {
+            max_needed[t.shard.0 as usize] = max_needed[t.shard.0 as usize].max(t.version.0);
+            for d in deps {
+                max_needed[d.shard.0 as usize] = max_needed[d.shard.0 as usize].max(d.version.0);
+            }
+        }
+        let mut versions: Vec<u64> = (0..SHARDS)
+            .map(|s| graph.keys().filter(|t| t.shard.0 == s).map(|t| t.version.0).max().unwrap_or(0))
+            .collect();
+        for s in 0..SHARDS {
+            while versions[s as usize] < max_needed[s as usize] {
+                versions[s as usize] += 1;
+                finder
+                    .report_commit(Token::new(ShardId(s), Version(versions[s as usize])), vec![])
+                    .unwrap();
+            }
+        }
+        finder.refresh().unwrap();
+        let cut = finder.current_cut().unwrap();
+        for s in 0..SHARDS {
+            prop_assert!(
+                cut[&ShardId(s)] >= Version(versions[s as usize]),
+                "shard {s} stuck at {:?} < {}",
+                cut[&ShardId(s)],
+                versions[s as usize]
+            );
+        }
+    }
+
+    #[test]
+    fn approximate_cut_is_closed_for_monotone_graphs(commits in prop::collection::vec(commit_strategy(), 1..60)) {
+        let meta = setup();
+        let finder = ApproximateFinder::new(meta);
+        let graph = replay(&finder, &commits, true);
+        finder.refresh().unwrap();
+        let cut = finder.current_cut().unwrap();
+        prop_assert!(cut_is_closed(&graph, &cut));
+    }
+
+    #[test]
+    fn hybrid_cut_closed_and_at_least_approximate(commits in prop::collection::vec(commit_strategy(), 1..60)) {
+        let meta = setup();
+        let hybrid = HybridFinder::new(meta.clone());
+        let graph = replay(&hybrid, &commits, true);
+        hybrid.refresh().unwrap();
+        let hybrid_cut = hybrid.current_cut().unwrap();
+        prop_assert!(cut_is_closed(&graph, &hybrid_cut));
+        // The hybrid must dominate the plain Vmin floor.
+        let vmin = meta.min_persisted_version().unwrap().unwrap_or(Version::ZERO);
+        for s in 0..SHARDS {
+            prop_assert!(hybrid_cut[&ShardId(s)] >= vmin);
+        }
+    }
+
+    #[test]
+    fn hybrid_survives_crash_with_closed_cut(
+        before in prop::collection::vec(commit_strategy(), 1..30),
+        after in prop::collection::vec(commit_strategy(), 1..30),
+    ) {
+        let meta = setup();
+        let hybrid = HybridFinder::new(meta);
+        let mut versions = [0u64; SHARDS as usize];
+        let mut graph = BTreeMap::new();
+        let feed = |commits: &[Commit], versions: &mut [u64; SHARDS as usize], graph: &mut BTreeMap<Token, Vec<Token>>| {
+            for c in commits {
+                versions[c.shard as usize] += 1;
+                let v = versions[c.shard as usize];
+                let deps: Vec<Token> = c
+                    .deps
+                    .iter()
+                    .filter(|(s, _)| *s != c.shard)
+                    .map(|(s, dv)| Token::new(ShardId(*s), Version((*dv).min(v))))
+                    .collect();
+                let token = Token::new(ShardId(c.shard), Version(v));
+                graph.insert(token, deps.clone());
+                hybrid.report_commit(token, deps).unwrap();
+            }
+        };
+        feed(&before, &mut versions, &mut graph);
+        hybrid.refresh().unwrap();
+        hybrid.simulate_coordinator_crash();
+        feed(&after, &mut versions, &mut graph);
+        hybrid.refresh().unwrap();
+        let cut = hybrid.current_cut().unwrap();
+        prop_assert!(cut_is_closed(&graph, &cut), "post-crash cut {cut:?} not closed");
+    }
+}
