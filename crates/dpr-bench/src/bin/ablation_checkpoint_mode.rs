@@ -60,6 +60,7 @@ fn run(mode: CheckpointMode, keys: u64, duration: Duration) -> (f64, f64) {
 }
 
 fn main() {
+    let _metrics = dpr_bench::metrics_dump();
     let keys = keyspace();
     let duration = point_duration().max(Duration::from_secs(2));
     for (label, mode) in [

@@ -132,6 +132,7 @@ fn run(fast_forward: bool, duration: Duration, keys: u64) -> (f64, LatencyHistog
 }
 
 fn main() {
+    let _metrics = dpr_bench::metrics_dump();
     let keys = keyspace();
     let duration = point_duration().max(Duration::from_secs(2));
     for ff in [false, true] {

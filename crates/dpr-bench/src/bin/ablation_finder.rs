@@ -14,6 +14,7 @@ use dpr_ycsb::{KeyDistribution, WorkloadSpec};
 use std::time::Duration;
 
 fn main() {
+    let _metrics = dpr_bench::metrics_dump();
     let keys = keyspace();
     let duration = point_duration();
     for (label, mode) in [

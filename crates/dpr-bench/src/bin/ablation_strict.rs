@@ -72,6 +72,7 @@ fn run(strict: bool, keys: u64, duration: Duration) -> (f64, u64) {
 }
 
 fn main() {
+    let _metrics = dpr_bench::metrics_dump();
     let keys = keyspace();
     let duration = point_duration().max(Duration::from_secs(2));
     for strict in [true, false] {

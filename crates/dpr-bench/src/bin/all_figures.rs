@@ -4,6 +4,7 @@
 use std::process::Command;
 
 fn main() {
+    let _metrics = dpr_bench::metrics_dump();
     let bins = [
         "fig10",
         "fig11",
@@ -18,7 +19,8 @@ fn main() {
         "ablation_finder",
         "ablation_fastforward",
         "ablation_checkpoint_mode",
-        "ablation_strict", "extra_workloads",
+        "ablation_strict",
+        "extra_workloads",
     ];
     let exe = std::env::current_exe().expect("current exe");
     let dir = exe.parent().expect("bin dir");

@@ -12,6 +12,7 @@ use dpr_ycsb::{KeyDistribution, WorkloadSpec};
 use std::time::Duration;
 
 fn main() {
+    let _metrics = dpr_bench::metrics_dump();
     let thread_counts = env_list("DPR_BENCH_THREADS", &[1, 2, 4]);
     let keys = keyspace();
     let duration = point_duration();

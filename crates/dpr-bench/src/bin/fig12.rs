@@ -12,6 +12,7 @@ use dpr_ycsb::{KeyDistribution, WorkloadSpec};
 use std::time::Duration;
 
 fn main() {
+    let _metrics = dpr_bench::metrics_dump();
     let keys = keyspace();
     let duration = point_duration().max(Duration::from_secs(2));
     for batch in [1024u64, 64] {

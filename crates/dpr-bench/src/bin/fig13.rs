@@ -12,6 +12,7 @@ use dpr_ycsb::{KeyDistribution, WorkloadSpec};
 use std::time::Duration;
 
 fn main() {
+    let _metrics = dpr_bench::metrics_dump();
     let batches = env_list(
         "DPR_BENCH_BATCHES",
         &[1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024],

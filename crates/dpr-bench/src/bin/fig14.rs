@@ -15,6 +15,7 @@ use dpr_ycsb::{KeyDistribution, WorkloadSpec};
 use std::time::Duration;
 
 fn main() {
+    let _metrics = dpr_bench::metrics_dump();
     let intervals_ms = env_list("DPR_BENCH_INTERVALS", &[500, 250, 100, 50, 25]);
     let keys = keyspace();
     let duration = point_duration();

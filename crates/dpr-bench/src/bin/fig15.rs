@@ -12,6 +12,7 @@ use dpr_ycsb::{KeyDistribution, WorkloadSpec};
 use std::time::Duration;
 
 fn main() {
+    let _metrics = dpr_bench::metrics_dump();
     let percents = env_list("DPR_BENCH_COLOCATE", &[0, 25, 50, 75, 90, 99, 100]);
     let batches = env_list("DPR_BENCH_BATCHES", &[1, 16, 256]);
     let keys = keyspace();

@@ -12,6 +12,7 @@ use dpr_ycsb::{KeyDistribution, WorkloadSpec};
 use std::time::Duration;
 
 fn main() {
+    let _metrics = dpr_bench::metrics_dump();
     // Scaled from the paper's 45 s / failures at 15 s and 30 s.
     let total_secs: f64 = std::env::var("DPR_BENCH_RECOVERY_SECS")
         .ok()

@@ -56,6 +56,7 @@ fn run_wrapped(
 }
 
 fn main() {
+    let _metrics = dpr_bench::metrics_dump();
     let shard_counts = env_list("DPR_BENCH_SHARDS", &[1, 2, 4, 8]);
     let keys = keyspace().min(50_000); // Redis-like stores are preloaded serially
     let duration = point_duration();

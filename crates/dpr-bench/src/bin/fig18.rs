@@ -64,6 +64,7 @@ fn wrapped_latency(
 }
 
 fn main() {
+    let _metrics = dpr_bench::metrics_dump();
     let keys = keyspace().min(50_000);
     let duration = point_duration();
     let shards = 4;

@@ -117,6 +117,7 @@ fn run_cluster(
 }
 
 fn main() {
+    let _metrics = dpr_bench::metrics_dump();
     let keys = keyspace().min(50_000);
     let duration = point_duration();
 

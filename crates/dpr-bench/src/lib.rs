@@ -38,3 +38,49 @@ pub fn keyspace() -> u64 {
         .unwrap_or(100_000)
         .max(1)
 }
+
+/// Guard returned by [`metrics_dump`]; prints the telemetry report when the
+/// benchmark exits (on drop).
+pub struct MetricsDump {
+    prometheus: bool,
+}
+
+impl Drop for MetricsDump {
+    fn drop(&mut self) {
+        let registry = dpr_telemetry::global();
+        // Rows go to stdout like the result rows, prefixed so downstream
+        // parsers of the key=value format can skip them.
+        eprintln!("\n== telemetry ==");
+        if self.prometheus {
+            eprint!("{}", registry.render_prometheus());
+        } else {
+            eprint!("{}", registry.render_table());
+        }
+    }
+}
+
+/// The harness's `--metrics` dump hook.
+///
+/// When the binary was invoked with `--metrics` (or `--metrics=prometheus`,
+/// or with `DPR_BENCH_METRICS` set to `1`/`table`/`prometheus`), turn
+/// telemetry on ([`dpr_telemetry::set_enabled`]) and return a guard that
+/// prints the full metric table — commit latency, checkpoint phase timings,
+/// cut lag, and the protocol-event log — to stderr when dropped. Returns
+/// `None`, leaving telemetry off, when not requested. See
+/// `docs/OBSERVABILITY.md` for the metric catalog and a worked example.
+#[must_use]
+pub fn metrics_dump() -> Option<MetricsDump> {
+    let mode = std::env::args()
+        .find_map(|a| match a.as_str() {
+            "--metrics" => Some("table".to_string()),
+            _ => a.strip_prefix("--metrics=").map(str::to_string),
+        })
+        .or_else(|| std::env::var("DPR_BENCH_METRICS").ok())?;
+    if mode == "0" || mode.is_empty() {
+        return None;
+    }
+    dpr_telemetry::set_enabled(true);
+    Some(MetricsDump {
+        prometheus: mode.starts_with("prom"),
+    })
+}

@@ -22,6 +22,7 @@ pub mod dfaster;
 pub mod dredis;
 pub mod manager;
 pub mod message;
+mod metrics;
 pub mod proxy;
 pub mod tcp;
 pub mod transport;

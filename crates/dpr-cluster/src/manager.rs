@@ -9,18 +9,24 @@
 
 use dpr_core::{DprError, Result};
 use dpr_metadata::{MetadataStore, RecoveryState};
+use parking_lot::Mutex;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Failure detection and recovery orchestration.
 pub struct ClusterManager {
     meta: Arc<dyn MetadataStore>,
+    /// Telemetry only: when the in-flight recovery was triggered.
+    recovery_started: Mutex<Option<Instant>>,
 }
 
 impl ClusterManager {
     /// Manager over the shared metadata store.
     pub fn new(meta: Arc<dyn MetadataStore>) -> Self {
-        ClusterManager { meta }
+        ClusterManager {
+            meta,
+            recovery_started: Mutex::new(None),
+        }
     }
 
     /// Report a detected failure: bumps the world-line, freezes DPR
@@ -31,7 +37,16 @@ impl ClusterManager {
     /// notifying workers of a new world-line, forcing all workers to
     /// rollback to the latest DPR cut."
     pub fn trigger_failure(&self) -> Result<RecoveryState> {
-        self.meta.begin_recovery()
+        let rec = self.meta.begin_recovery()?;
+        *self.recovery_started.lock() = dpr_telemetry::enabled().then(Instant::now);
+        dpr_telemetry::global().span("dpr-cluster", "recovery_begin", || {
+            format!(
+                "world-line {} ({} shards to roll back)",
+                rec.world_line.0,
+                rec.pending.len()
+            )
+        });
+        Ok(rec)
     }
 
     /// Block until any in-flight recovery completes.
@@ -43,6 +58,13 @@ impl ClusterManager {
             }
             std::thread::sleep(Duration::from_micros(500));
         }
+        crate::metrics::recoveries().inc();
+        if let Some(started) = self.recovery_started.lock().take() {
+            crate::metrics::recovery_duration().record_micros(started.elapsed());
+        }
+        dpr_telemetry::global().span("dpr-cluster", "recovery_complete", || {
+            "all pending shards rolled back; progress resumed".to_string()
+        });
         Ok(())
     }
 

@@ -1,0 +1,55 @@
+//! Metric accessors for the cluster layer.
+//!
+//! Every metric defined here is documented (name, unit, paper
+//! cross-reference) in `docs/OBSERVABILITY.md`; keep the two in sync.
+
+use dpr_telemetry::metric_fn;
+
+metric_fn!(
+    /// Batches executed by workers (local + remote).
+    pub(crate) fn batches() -> Counter =
+        ("dpr_cluster_batches_total", Count,
+         "Batches executed by workers")
+);
+
+metric_fn!(
+    /// Operations per executed batch (the Fig. 13 batching axis `b`).
+    pub(crate) fn batch_ops() -> Histogram =
+        ("dpr_cluster_batch_ops", Ops,
+         "Operations per executed batch")
+);
+
+metric_fn!(
+    /// Depth of a worker's request inbox, sampled by executor threads.
+    pub(crate) fn worker_inbox_depth() -> Gauge =
+        ("dpr_cluster_worker_inbox_depth", Count,
+         "Requests queued in a worker inbox (sampled before each receive)")
+);
+
+metric_fn!(
+    /// Messages queued in the simulated network's delay heap.
+    pub(crate) fn net_inflight() -> Gauge =
+        ("dpr_cluster_net_inflight", Count,
+         "Messages in flight on the simulated network (delay heap depth)")
+);
+
+metric_fn!(
+    /// Cluster recoveries completed (§4.1).
+    pub(crate) fn recoveries() -> Counter =
+        ("dpr_cluster_recoveries_total", Count,
+         "Cluster recoveries driven to completion")
+);
+
+metric_fn!(
+    /// Whole-cluster recovery duration, failure trigger to all-workers-done.
+    pub(crate) fn recovery_duration() -> Histogram =
+        ("dpr_cluster_recovery_us", Micros,
+         "Cluster recovery duration from trigger_failure to the last rollback report")
+);
+
+metric_fn!(
+    /// Per-worker rollbacks performed during recoveries.
+    pub(crate) fn worker_rollbacks() -> Counter =
+        ("dpr_cluster_worker_rollbacks_total", Count,
+         "Worker rollbacks to the guaranteed cut during recovery")
+);

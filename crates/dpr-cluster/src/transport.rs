@@ -113,6 +113,7 @@ impl SimNetwork {
             to,
             msg,
         }));
+        crate::metrics::net_inflight().set(pump.heap.len() as i64);
         self.pump_wake.notify_one();
         Ok(())
     }
@@ -152,6 +153,9 @@ impl SimNetwork {
                     }
                 }
             }
+        }
+        if !due.is_empty() {
+            crate::metrics::net_inflight().set(self.pump.lock().heap.len() as i64);
         }
         for (to, msg) in due {
             let _ = self.deliver(to, msg);

@@ -179,6 +179,8 @@ impl Worker {
         let (results, version) = self.store.execute_batch(header.session, ops)?;
         self.executed_ops
             .fetch_add(ops.len() as u64, Ordering::Relaxed);
+        crate::metrics::batches().inc();
+        crate::metrics::batch_ops().record(ops.len() as u64);
         if self.config.dpr_enabled {
             self.server.record_batch(header, version);
         }
@@ -248,6 +250,13 @@ impl Worker {
         if self.store.restore(target).is_ok() {
             self.server.on_restore(target);
             self.server.set_world_line(rec.world_line);
+            crate::metrics::worker_rollbacks().inc();
+            dpr_telemetry::global().span("dpr-cluster", "worker_rollback", || {
+                format!(
+                    "shard {} -> v{} (world-line {})",
+                    self.shard.0, target.0, rec.world_line.0
+                )
+            });
             let _ = self.meta.report_rollback_complete(self.shard);
         }
     }
@@ -259,6 +268,7 @@ fn executor_loop(worker: &Weak<Worker>, inbox: &Receiver<Message>) {
         if w.shutdown.load(Ordering::Acquire) {
             return;
         }
+        crate::metrics::worker_inbox_depth().set(inbox.len() as i64);
         match inbox.recv_timeout(Duration::from_millis(20)) {
             Ok(Message::Request(req)) => handle_request(&w, req),
             Ok(Message::Response(_)) => { /* workers do not expect responses */ }

@@ -15,7 +15,7 @@
 //! * [`SessionId`] identifies a client session, the unit of dependency
 //!   tracking.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod clock;
 pub mod config;

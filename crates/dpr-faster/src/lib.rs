@@ -31,6 +31,7 @@
 pub mod checkpoint;
 pub mod index;
 pub mod log;
+mod metrics;
 pub mod record;
 pub mod session;
 pub mod state;

@@ -1,0 +1,71 @@
+//! Metric accessors for the FASTER-style store.
+//!
+//! Every metric defined here is documented (name, unit, paper
+//! cross-reference) in `docs/OBSERVABILITY.md`; keep the two in sync.
+
+use crate::state::Phase;
+use dpr_core::Version;
+use dpr_telemetry::metric_fn;
+
+metric_fn!(
+    /// CPR checkpoints completed (§5.4).
+    pub(crate) fn checkpoints() -> Counter =
+        ("dpr_faster_checkpoints_total", Count,
+         "CPR checkpoints completed (Rest -> ... -> Rest cycles)")
+);
+
+metric_fn!(
+    /// Time spent in the Prepare phase (waiting for all sessions to observe).
+    pub(crate) fn phase_prepare() -> Histogram =
+        ("dpr_faster_checkpoint_prepare_us", Micros,
+         "Time a checkpoint spent in Prepare (sessions acknowledging in the old version)")
+);
+
+metric_fn!(
+    /// Time spent in the InProgress phase (sessions moving to the new version).
+    pub(crate) fn phase_in_progress() -> Histogram =
+        ("dpr_faster_checkpoint_in_progress_us", Micros,
+         "Time a checkpoint spent in InProgress (sessions moving to the new version)")
+);
+
+metric_fn!(
+    /// Time spent in WaitFlush (sealing and flushing the committed prefix).
+    pub(crate) fn phase_wait_flush() -> Histogram =
+        ("dpr_faster_checkpoint_wait_flush_us", Micros,
+         "Time a checkpoint spent in WaitFlush (flush or snapshot capture + manifest write)")
+);
+
+metric_fn!(
+    /// Whole-checkpoint duration, Rest to Rest.
+    pub(crate) fn checkpoint_total() -> Histogram =
+        ("dpr_faster_checkpoint_total_us", Micros,
+         "Whole-checkpoint duration from the Prepare transition back to Rest")
+);
+
+metric_fn!(
+    /// Rollback THROW transitions (§5.5 non-blocking rollback, first half).
+    pub(crate) fn rollback_throw() -> Counter =
+        ("dpr_faster_rollback_throw_total", Count,
+         "Rollback Throw phases entered (lost version range published, PENDING ops dropped)")
+);
+
+metric_fn!(
+    /// Rollback PURGE completions (§5.5 non-blocking rollback, second half).
+    pub(crate) fn rollback_purge() -> Counter =
+        ("dpr_faster_rollback_purge_total", Count,
+         "Rollback Purge phases completed (lost log entries invalidated)")
+);
+
+metric_fn!(
+    /// Operations currently PENDING on device I/O (relaxed CPR, §5.4).
+    pub(crate) fn pending_ops() -> Gauge =
+        ("dpr_faster_pending_ops", Ops,
+         "Operations currently PENDING on device I/O across all sessions")
+);
+
+/// Record a CPR state-machine transition into the span ring.
+pub(crate) fn phase_span(from: Phase, to: Phase, version: Version) {
+    dpr_telemetry::global().span("dpr-faster", "phase", || {
+        format!("{from:?} -> {to:?} (v{})", version.0)
+    });
+}

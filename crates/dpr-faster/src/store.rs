@@ -105,6 +105,25 @@ struct MachineCtx {
     until_address: Option<u64>,
     /// For snapshot-mode checkpoints: blob name once written.
     snapshot_blob: Option<String>,
+    /// Telemetry only (None while disabled): when the machine left Rest.
+    started_at: Option<std::time::Instant>,
+    /// Telemetry only: when the current phase was entered.
+    phase_entered: Option<std::time::Instant>,
+}
+
+impl MachineCtx {
+    fn now() -> Option<std::time::Instant> {
+        dpr_telemetry::enabled().then(std::time::Instant::now)
+    }
+
+    /// Record the time spent in the phase being left and restart the
+    /// phase clock.
+    fn lap(&mut self, phase_histogram: &'static dpr_telemetry::Histogram) {
+        if let Some(entered) = self.phase_entered.take() {
+            phase_histogram.record_micros(entered.elapsed());
+        }
+        self.phase_entered = Self::now();
+    }
 }
 
 /// Version-boundary capture state, consulted by sessions as they cross.
@@ -340,6 +359,9 @@ impl FasterKv {
                 self.apply_crossing(shared.id, &mut core, global);
                 core.observed = global;
             }
+            // Ops still outstanding at departure never complete; keep the
+            // gauge honest.
+            crate::metrics::pending_ops().sub(core.outstanding.len() as i64);
             // Record the session's final prefix so later checkpoints keep
             // reporting it (a departed session's ops are all in versions at
             // or below its departure version).
@@ -387,6 +409,7 @@ impl FasterKv {
                 BoundaryKind::Rollback => {
                     // PENDING ops issued before the failure are lost.
                     let lost: Vec<u64> = core.outstanding.keys().copied().collect();
+                    crate::metrics::pending_ops().sub(lost.len() as i64);
                     core.outstanding.clear();
                     core.lost.extend(lost);
                 }
@@ -595,6 +618,7 @@ impl FasterKv {
                         addr,
                     },
                 );
+                crate::metrics::pending_ops().add(1);
                 Ok(OpOutcome::Pending(PendingToken { serial }))
             }
         }
@@ -660,6 +684,7 @@ impl FasterKv {
                         addr: 0,
                     },
                 );
+                crate::metrics::pending_ops().add(1);
                 Ok(OpOutcome::Pending(PendingToken { serial }))
             }
         }
@@ -751,6 +776,7 @@ impl FasterKv {
         }
         let pending: Vec<(u64, PendingOp)> =
             std::mem::take(&mut core.outstanding).into_iter().collect();
+        crate::metrics::pending_ops().sub(pending.len() as i64);
         if !pending.is_empty() {
             // Relaxed CPR issues the batched I/Os concurrently; the batch
             // completes in ~one device round trip.
@@ -894,6 +920,7 @@ impl FasterKv {
                     Some(Request::Checkpoint { target }) => {
                         let commit_version = state.version;
                         let target = target.unwrap_or(Version::ZERO).max(commit_version.next());
+                        let now = MachineCtx::now();
                         *machine = Some(MachineCtx {
                             kind: MachineKind::Checkpoint {
                                 commit_version,
@@ -901,7 +928,10 @@ impl FasterKv {
                             },
                             until_address: None,
                             snapshot_blob: None,
+                            started_at: now,
+                            phase_entered: now,
                         });
+                        crate::metrics::phase_span(Phase::Rest, Phase::Prepare, commit_version);
                         *self.boundary.lock() = Some(Boundary {
                             kind: BoundaryKind::Checkpoint,
                             points: BTreeMap::new(),
@@ -918,11 +948,16 @@ impl FasterKv {
                             return;
                         }
                         self.purged.write().push((v_safe, v_lost));
+                        let now = MachineCtx::now();
                         *machine = Some(MachineCtx {
                             kind: MachineKind::Rollback { v_safe, v_lost },
                             until_address: None,
                             snapshot_blob: None,
+                            started_at: now,
+                            phase_entered: now,
                         });
+                        crate::metrics::rollback_throw().inc();
+                        crate::metrics::phase_span(Phase::Rest, Phase::Throw, v_lost);
                         *self.boundary.lock() = Some(Boundary {
                             kind: BoundaryKind::Rollback,
                             points: BTreeMap::new(),
@@ -936,10 +971,12 @@ impl FasterKv {
             }
             Phase::Prepare => {
                 if self.all_sessions_at(state) {
-                    let Some(ctx) = machine.as_ref() else { return };
+                    let Some(ctx) = machine.as_mut() else { return };
                     let MachineKind::Checkpoint { target, .. } = ctx.kind else {
                         return;
                     };
+                    ctx.lap(crate::metrics::phase_prepare());
+                    crate::metrics::phase_span(Phase::Prepare, Phase::InProgress, target);
                     self.global.store(SystemState {
                         phase: Phase::InProgress,
                         version: target,
@@ -952,6 +989,8 @@ impl FasterKv {
                     // All sessions are in the new version: the old version's
                     // records all sit below the current tail. Seal it.
                     ctx.until_address = Some(self.log.seal_to_tail());
+                    ctx.lap(crate::metrics::phase_in_progress());
+                    crate::metrics::phase_span(Phase::InProgress, Phase::WaitFlush, state.version);
                     self.global.store(SystemState {
                         phase: Phase::WaitFlush,
                         version: state.version,
@@ -996,6 +1035,12 @@ impl FasterKv {
                     }
                 };
                 if capture_done {
+                    ctx.lap(crate::metrics::phase_wait_flush());
+                    if let Some(started) = ctx.started_at.take() {
+                        crate::metrics::checkpoint_total().record_micros(started.elapsed());
+                    }
+                    crate::metrics::checkpoints().inc();
+                    crate::metrics::phase_span(Phase::WaitFlush, Phase::Rest, commit_version);
                     let snapshot_blob = ctx.snapshot_blob.take();
                     let mut points = self
                         .boundary
@@ -1034,6 +1079,7 @@ impl FasterKv {
             }
             Phase::Throw => {
                 if self.all_sessions_at(state) {
+                    crate::metrics::phase_span(Phase::Throw, Phase::Purge, state.version);
                     self.global.store(SystemState {
                         phase: Phase::Purge,
                         version: state.version,
@@ -1061,6 +1107,8 @@ impl FasterKv {
                 if cur > v_safe.0 {
                     self.durable_version.store(v_safe.0, Ordering::Release);
                 }
+                crate::metrics::rollback_purge().inc();
+                crate::metrics::phase_span(Phase::Purge, Phase::Rest, state.version);
                 *self.boundary.lock() = None;
                 *machine = None;
                 self.global.store(SystemState {

@@ -70,7 +70,9 @@ fn reads_of_a_monotone_counter_never_go_backwards() {
             let mut v = 0u64;
             while !writer_stop.load(std::sync::atomic::Ordering::Acquire) {
                 v += 1;
-                session.upsert(Key::from_u64(9), Value::from_u64(v)).unwrap();
+                session
+                    .upsert(Key::from_u64(9), Value::from_u64(v))
+                    .unwrap();
             }
         });
         let chk_kv = kv.clone();

@@ -24,6 +24,7 @@
 
 #![warn(missing_docs)]
 
+mod metrics;
 pub mod ownership;
 pub mod recovery;
 pub mod store;

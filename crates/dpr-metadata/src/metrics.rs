@@ -1,0 +1,35 @@
+//! Metric accessors for the metadata store.
+//!
+//! Every metric defined here is documented (name, unit, paper
+//! cross-reference) in `docs/OBSERVABILITY.md`; keep the two in sync.
+
+use dpr_telemetry::metric_fn;
+
+metric_fn!(
+    /// Statements executed against the simulated SQL store (§5.1).
+    pub(crate) fn statements() -> Counter =
+        ("dpr_metadata_statements_total", Count,
+         "Statements executed against the simulated metadata store")
+);
+
+metric_fn!(
+    /// Injected per-statement latency actually paid (the modeled Azure SQL
+    /// round trip).
+    pub(crate) fn statement_latency() -> Histogram =
+        ("dpr_metadata_statement_us", Micros,
+         "Simulated metadata-store statement latency (injected round trip)")
+);
+
+metric_fn!(
+    /// Rows in the `dpr` table (one per registered shard).
+    pub(crate) fn dpr_table_rows() -> Gauge =
+        ("dpr_metadata_dpr_table_rows", Count,
+         "Rows in the dpr table (registered shards)")
+);
+
+metric_fn!(
+    /// Rows in the precedence-graph table (committed tokens awaiting pruning).
+    pub(crate) fn graph_rows() -> Gauge =
+        ("dpr_metadata_graph_rows", Count,
+         "Rows in the precedence-graph table (tokens not yet below the cut)")
+);

@@ -121,8 +121,11 @@ impl SimulatedSqlStore {
     }
 
     fn charge(&self) {
+        crate::metrics::statements().inc();
         if !self.latency.is_zero() {
+            let timer = crate::metrics::statement_latency().start_timer();
             std::thread::sleep(self.latency);
+            drop(timer);
         }
     }
 }
@@ -139,6 +142,7 @@ impl MetadataStore for SimulatedSqlStore {
         let mut t = self.tables.lock();
         t.dpr.entry(shard).or_insert(Version::ZERO);
         t.cut.entry(shard).or_insert(Version::ZERO);
+        crate::metrics::dpr_table_rows().set(t.dpr.len() as i64);
         Ok(())
     }
 
@@ -147,6 +151,7 @@ impl MetadataStore for SimulatedSqlStore {
         let mut t = self.tables.lock();
         t.dpr.remove(&shard);
         t.cut.remove(&shard);
+        crate::metrics::dpr_table_rows().set(t.dpr.len() as i64);
         Ok(())
     }
 
@@ -184,7 +189,9 @@ impl MetadataStore for SimulatedSqlStore {
 
     fn add_graph_version(&self, token: Token, deps: Vec<Token>) -> Result<()> {
         self.charge();
-        self.tables.lock().graph.insert(token, deps);
+        let mut t = self.tables.lock();
+        t.graph.insert(token, deps);
+        crate::metrics::graph_rows().set(t.graph.len() as i64);
         Ok(())
     }
 
@@ -201,10 +208,12 @@ impl MetadataStore for SimulatedSqlStore {
 
     fn prune_graph_below(&self, cut: &Cut) -> Result<()> {
         self.charge();
-        self.tables.lock().graph.retain(|token, _| {
+        let mut t = self.tables.lock();
+        t.graph.retain(|token, _| {
             cut.get(&token.shard)
                 .is_none_or(|&committed| token.version > committed)
         });
+        crate::metrics::graph_rows().set(t.graph.len() as i64);
         Ok(())
     }
 

@@ -1,0 +1,345 @@
+//! The three metric primitives: counters, gauges, and log-scale histograms.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Number of histogram buckets. Bucket 0 holds exact zeros; bucket `i`
+/// (for `i >= 1`) holds values in `[2^(i-1), 2^i)`, so 64 buckets cover
+/// the full `u64` range.
+pub const HISTOGRAM_BUCKETS: usize = 64;
+
+/// A monotonically increasing count. Updates are relaxed `fetch_add`s.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// A counter at zero.
+    #[must_use]
+    pub const fn new() -> Counter {
+        Counter {
+            value: AtomicU64::new(0),
+        }
+    }
+
+    /// Add one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A value that can move both ways (queue depths, lags, outstanding ops).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    /// A gauge at zero.
+    #[must_use]
+    pub const fn new() -> Gauge {
+        Gauge {
+            value: AtomicI64::new(0),
+        }
+    }
+
+    /// Overwrite the value.
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Add `n` (may be negative).
+    pub fn add(&self, n: i64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Subtract `n`.
+    pub fn sub(&self, n: i64) {
+        self.value.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A log-scale histogram over `u64` samples.
+///
+/// Buckets are powers of two: recording a value touches exactly one bucket
+/// counter plus the running sum, count, and max — four relaxed atomic RMWs,
+/// no allocation. Quantiles are estimated from bucket boundaries (an upper
+/// bound with at most 2x resolution error, which is what log-scale buys),
+/// while [`HistogramSnapshot::max`] is exact.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    #[must_use]
+    pub const fn new() -> Histogram {
+        // `AtomicU64` is not `Copy`; build the array element by element.
+        const ZERO: AtomicU64 = AtomicU64::new(0);
+        Histogram {
+            buckets: [ZERO; HISTOGRAM_BUCKETS],
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Bucket index for a sample: 0 for 0, else `64 - leading_zeros`,
+    /// clamped to the last bucket.
+    #[must_use]
+    pub fn bucket_index(value: u64) -> usize {
+        if value == 0 {
+            0
+        } else {
+            ((64 - value.leading_zeros()) as usize).min(HISTOGRAM_BUCKETS - 1)
+        }
+    }
+
+    /// Inclusive upper bound of bucket `i` (the value quantiles report).
+    #[must_use]
+    pub fn bucket_upper_bound(index: usize) -> u64 {
+        if index == 0 {
+            0
+        } else if index >= HISTOGRAM_BUCKETS - 1 {
+            u64::MAX
+        } else {
+            (1u64 << index) - 1
+        }
+    }
+
+    /// Record one sample.
+    pub fn record(&self, value: u64) {
+        self.buckets[Self::bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Record a duration in whole microseconds (the workspace's standard
+    /// latency unit; see `docs/OBSERVABILITY.md`).
+    pub fn record_micros(&self, d: std::time::Duration) {
+        self.record(d.as_micros().min(u128::from(u64::MAX)) as u64);
+    }
+
+    /// Start a timer that records elapsed microseconds into this histogram
+    /// when dropped (or stopped). Returns an inert guard — a single relaxed
+    /// load and no clock read — while telemetry is disabled.
+    #[must_use]
+    pub fn start_timer(&'static self) -> Timer {
+        Timer {
+            histogram: self,
+            start: crate::enabled().then(Instant::now),
+        }
+    }
+
+    /// Consistent-enough point-in-time copy for rendering and assertions.
+    ///
+    /// Individual loads are relaxed, so a snapshot taken during concurrent
+    /// recording may be off by in-flight samples; totals are never torn.
+    #[must_use]
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = [0u64; HISTOGRAM_BUCKETS];
+        for (slot, bucket) in buckets.iter_mut().zip(&self.buckets) {
+            *slot = bucket.load(Ordering::Relaxed);
+        }
+        HistogramSnapshot {
+            buckets,
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Point-in-time copy of a [`Histogram`].
+#[derive(Debug, Clone, Copy)]
+pub struct HistogramSnapshot {
+    /// Per-bucket sample counts (see [`Histogram::bucket_index`]).
+    pub buckets: [u64; HISTOGRAM_BUCKETS],
+    /// Total samples recorded.
+    pub count: u64,
+    /// Sum of all samples (wrapping on overflow).
+    pub sum: u64,
+    /// Largest sample recorded (exact).
+    pub max: u64,
+}
+
+impl HistogramSnapshot {
+    /// Estimated value at quantile `q` in `[0, 1]`: the upper bound of the
+    /// bucket containing the `ceil(q * count)`-th sample. Zero when empty.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                // The last occupied bucket's bound can overshoot the true
+                // maximum; the exact max is tighter.
+                return Histogram::bucket_upper_bound(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median estimate.
+    #[must_use]
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th-percentile estimate.
+    #[must_use]
+    pub fn p95(&self) -> u64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th-percentile estimate.
+    #[must_use]
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Exact maximum sample.
+    #[must_use]
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean sample value (0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// Guard returned by [`Histogram::start_timer`]; records on drop.
+#[derive(Debug)]
+pub struct Timer {
+    histogram: &'static Histogram,
+    start: Option<Instant>,
+}
+
+impl Timer {
+    /// Record now and return the elapsed duration (`None` if telemetry was
+    /// disabled when the timer started).
+    pub fn stop(mut self) -> Option<std::time::Duration> {
+        let elapsed = self.start.take().map(|s| s.elapsed());
+        if let Some(d) = elapsed {
+            self.histogram.record_micros(d);
+        }
+        elapsed
+    }
+
+    /// Abandon the timer without recording.
+    pub fn discard(mut self) {
+        self.start = None;
+    }
+}
+
+impl Drop for Timer {
+    fn drop(&mut self) {
+        if let Some(start) = self.start.take() {
+            self.histogram.record_micros(start.elapsed());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+
+        let g = Gauge::new();
+        g.set(10);
+        g.add(5);
+        g.sub(3);
+        assert_eq!(g.get(), 12);
+        g.set(-2);
+        assert_eq!(g.get(), -2);
+    }
+
+    #[test]
+    fn bucket_boundaries_are_powers_of_two() {
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 1);
+        assert_eq!(Histogram::bucket_index(2), 2);
+        assert_eq!(Histogram::bucket_index(3), 2);
+        assert_eq!(Histogram::bucket_index(4), 3);
+        assert_eq!(Histogram::bucket_index(1023), 10);
+        assert_eq!(Histogram::bucket_index(1024), 11);
+        assert_eq!(Histogram::bucket_index(u64::MAX), HISTOGRAM_BUCKETS - 1);
+        for i in 1..HISTOGRAM_BUCKETS - 1 {
+            let hi = Histogram::bucket_upper_bound(i);
+            assert_eq!(Histogram::bucket_index(hi), i);
+            assert_eq!(Histogram::bucket_index(hi + 1), i + 1);
+        }
+    }
+
+    #[test]
+    fn quantiles_track_known_distribution() {
+        let h = Histogram::new();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 100);
+        assert_eq!(s.max(), 100);
+        // p50 of 1..=100 is 50, whose bucket [32,64) reports bound 63.
+        assert_eq!(s.p50(), 63);
+        assert_eq!(s.p99(), 100, "last bucket bound is clamped to exact max");
+        assert!((s.mean() - 50.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_only_histogram() {
+        let h = Histogram::new();
+        h.record(0);
+        h.record(0);
+        let s = h.snapshot();
+        assert_eq!(s.p50(), 0);
+        assert_eq!(s.max(), 0);
+        assert_eq!(s.buckets[0], 2);
+    }
+}

@@ -1,0 +1,95 @@
+//! Concurrency smoke test: hammer every metric kind from N threads and check
+//! that nothing is lost. The primitives use relaxed atomics — each individual
+//! RMW is still atomic, so totals must be exact even without ordering.
+
+use dpr_telemetry::{Counter, Gauge, Histogram};
+use std::sync::Arc;
+use std::thread;
+
+const THREADS: usize = 8;
+const PER_THREAD: u64 = 50_000;
+
+#[test]
+fn counters_and_gauges_survive_contention() {
+    let counter = Arc::new(Counter::new());
+    let gauge = Arc::new(Gauge::new());
+    let handles: Vec<_> = (0..THREADS)
+        .map(|_| {
+            let counter = Arc::clone(&counter);
+            let gauge = Arc::clone(&gauge);
+            thread::spawn(move || {
+                for _ in 0..PER_THREAD {
+                    counter.inc();
+                    gauge.add(2);
+                    gauge.sub(1);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(counter.get(), THREADS as u64 * PER_THREAD);
+    assert_eq!(gauge.get(), (THREADS as u64 * PER_THREAD) as i64);
+}
+
+#[test]
+fn histogram_totals_are_exact_under_contention() {
+    let hist = Arc::new(Histogram::new());
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let hist = Arc::clone(&hist);
+            thread::spawn(move || {
+                // Each thread records 1..=PER_THREAD shifted into its own
+                // range so the max is known.
+                for v in 1..=PER_THREAD {
+                    hist.record(v + t as u64);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let snap = hist.snapshot();
+    assert_eq!(snap.count, THREADS as u64 * PER_THREAD);
+    assert_eq!(snap.max(), PER_THREAD + THREADS as u64 - 1);
+    assert_eq!(snap.buckets.iter().sum::<u64>(), snap.count);
+    // Quantiles stay ordered whatever the interleaving was.
+    assert!(snap.p50() <= snap.p95());
+    assert!(snap.p95() <= snap.p99());
+    assert!(snap.p99() <= snap.max());
+}
+
+#[test]
+fn registry_and_span_ring_survive_contention() {
+    // The global registry is process-wide; use distinct names so this test
+    // stays independent of anything else in the binary.
+    dpr_telemetry::set_enabled(true);
+    let registry = dpr_telemetry::global();
+    let handles: Vec<_> = (0..THREADS)
+        .map(|_| {
+            thread::spawn(move || {
+                // All threads race to register the same name: they must all
+                // get the same handle, and every increment must land.
+                let c = registry.counter("test_contended_total", dpr_telemetry::Unit::Count, "t");
+                for i in 0..1_000 {
+                    c.inc();
+                    registry.span("test", "tick", || format!("i={i}"));
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let c = registry.counter("test_contended_total", dpr_telemetry::Unit::Count, "t");
+    assert_eq!(c.get(), THREADS as u64 * 1_000);
+    // The span ring is bounded: it retains the most recent events, never
+    // more than its capacity, and never panics under contention.
+    let spans = registry.spans();
+    assert!(!spans.is_empty());
+    assert!(spans.len() <= dpr_telemetry::SPAN_RING_CAPACITY);
+    registry.clear_spans();
+    assert!(registry.spans().is_empty());
+}

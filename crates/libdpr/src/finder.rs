@@ -20,6 +20,31 @@ use parking_lot::Mutex;
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
+/// Record the cut lag (`Vmax - min(Vsafe)`, the §3.4 fast-forward
+/// pressure): how far the persisted frontier has run ahead of the published
+/// cut. Sampled at the *start* of each refresh, against the cut the previous
+/// refresh published — i.e. the gap this refresh is about to close, which is
+/// the lag clients actually observe between refreshes. The extra metadata
+/// reads only happen while telemetry is enabled; errors are swallowed — the
+/// metric is best-effort.
+fn observe_cut_lag(meta: &dyn MetadataStore) {
+    if !dpr_telemetry::enabled() {
+        return;
+    }
+    let vmax = meta
+        .max_persisted_version()
+        .ok()
+        .flatten()
+        .unwrap_or(Version::ZERO);
+    let vsafe = meta
+        .read_cut()
+        .ok()
+        .and_then(|cut| cut.values().min().copied())
+        .unwrap_or(Version::ZERO);
+    let lag = vmax.0.saturating_sub(vsafe.0);
+    crate::metrics::cut_lag().record(lag);
+}
+
 /// The cut-finding service interface.
 ///
 /// Shards call [`DprFinder::report_commit`] after each local commit; a
@@ -117,23 +142,27 @@ impl ExactFinder {
 impl DprFinder for ExactFinder {
     fn report_commit(&self, token: Token, deps: Vec<Token>) -> Result<()> {
         // Also maintain the DPR table so Vmax and membership stay accurate.
+        crate::metrics::graph_dep_tokens().add(deps.len() as u64);
         self.meta
             .update_persisted_version(token.shard, token.version)?;
         self.meta.add_graph_version(token, deps)
     }
 
     fn refresh(&self) -> Result<()> {
+        let _timer = crate::metrics::finder_refresh().start_timer();
+        observe_cut_lag(&*self.meta);
         let floor = self.meta.read_cut()?;
         let graph: BTreeMap<Token, Vec<Token>> = self.meta.graph_snapshot()?.into_iter().collect();
         let cut = compute_closure_cut(&graph, &floor);
-        match self.meta.update_cut_atomically(cut.clone()) {
+        let result = match self.meta.update_cut_atomically(cut.clone()) {
             Ok(()) => {
                 self.meta.prune_graph_below(&cut)?;
                 Ok(())
             }
             Err(dpr_core::DprError::Recovering) => Ok(()),
             Err(e) => Err(e),
-        }
+        };
+        result
     }
 
     fn current_cut(&self) -> Result<Cut> {
@@ -193,6 +222,8 @@ impl DprFinder for ApproximateFinder {
     }
 
     fn refresh(&self) -> Result<()> {
+        let _timer = crate::metrics::finder_refresh().start_timer();
+        observe_cut_lag(&*self.meta);
         let cut = self.min_cut()?;
         match self.meta.update_cut_atomically(cut) {
             Ok(()) | Err(dpr_core::DprError::Recovering) => Ok(()),
@@ -249,6 +280,9 @@ impl HybridFinder {
 
 impl DprFinder for HybridFinder {
     fn report_commit(&self, token: Token, deps: Vec<Token>) -> Result<()> {
+        // In-memory graph only, but the write volume is still the signal the
+        // hybrid exists to reduce durably (§3.4).
+        crate::metrics::graph_dep_tokens().add(deps.len() as u64);
         self.meta
             .update_persisted_version(token.shard, token.version)?;
         self.graph.lock().insert(token, deps);
@@ -256,6 +290,8 @@ impl DprFinder for HybridFinder {
     }
 
     fn refresh(&self) -> Result<()> {
+        let _timer = crate::metrics::finder_refresh().start_timer();
+        observe_cut_lag(&*self.meta);
         // Approximate floor first (durable, crash-safe)...
         let approx_floor = self.approx.min_cut()?;
         let mut floor = self.meta.read_cut()?;

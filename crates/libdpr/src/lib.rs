@@ -24,6 +24,7 @@
 pub mod client;
 pub mod finder;
 pub mod header;
+mod metrics;
 pub mod server;
 pub mod state_object;
 

@@ -34,6 +34,10 @@ pub struct DprServer {
     world_line: AtomicU64,
     /// Dependency tokens accumulated per (open) version.
     deps: Mutex<BTreeMap<Version, BTreeSet<Token>>>,
+    /// Telemetry only: when each open version first executed a batch, so
+    /// `pump_commits` can measure execute-to-commit-report latency.
+    /// Populated only while `dpr_telemetry::enabled()`.
+    first_executed: Mutex<BTreeMap<Version, Instant>>,
 }
 
 impl DprServer {
@@ -44,6 +48,7 @@ impl DprServer {
             shard,
             world_line: AtomicU64::new(WorldLine::INITIAL.0),
             deps: Mutex::new(BTreeMap::new()),
+            first_executed: Mutex::new(BTreeMap::new()),
         }
     }
 
@@ -70,6 +75,7 @@ impl DprServer {
         let ours = self.world_line();
         if header.world_line < ours {
             // Client is behind a failure it has not seen yet.
+            crate::metrics::validate_reject().inc();
             return BatchDisposition::Reject(DprError::WorldLineMismatch {
                 requested: header.world_line,
                 current: ours,
@@ -77,14 +83,17 @@ impl DprServer {
         }
         if header.world_line > ours {
             // We are still recovering; the client must retry.
+            crate::metrics::validate_reject().inc();
             return BatchDisposition::Reject(DprError::Recovering);
         }
         if header.version_lower_bound > so.current_version() {
             // §3.2: execute only once our version has caught up; trigger a
             // commit that fast-forwards to the client's clock.
             so.request_commit(Some(header.version_lower_bound));
+            crate::metrics::validate_delay().inc();
             return BatchDisposition::Delay;
         }
+        crate::metrics::validate_execute().inc();
         BatchDisposition::Execute
     }
 
@@ -114,6 +123,12 @@ impl DprServer {
     /// The *after* hook: record the batch's dependency edges against the
     /// version it executed in.
     pub fn record_batch(&self, header: &BatchHeader, executed_version: Version) {
+        if dpr_telemetry::enabled() {
+            self.first_executed
+                .lock()
+                .entry(executed_version)
+                .or_insert_with(Instant::now);
+        }
         if header.deps.is_empty() {
             return;
         }
@@ -161,6 +176,17 @@ impl DprServer {
                 below.into_values().flatten().collect()
             };
             finder.report_commit(Token::new(self.shard, desc.version), dep_tokens)?;
+            crate::metrics::commit_reports().inc();
+            if dpr_telemetry::enabled() {
+                // Every version sealed by this report has now reached its
+                // commit point: record how long it trailed execution.
+                let mut stamps = self.first_executed.lock();
+                let mut sealed = stamps.split_off(&desc.version.next());
+                std::mem::swap(&mut sealed, &mut stamps);
+                for started in sealed.into_values() {
+                    crate::metrics::commit_latency().record_micros(started.elapsed());
+                }
+            }
             reported.push(desc.version);
         }
         Ok(reported)
@@ -170,6 +196,7 @@ impl DprServer {
     pub fn on_restore(&self, v_safe: Version) {
         let mut deps = self.deps.lock();
         deps.split_off(&v_safe.next());
+        self.first_executed.lock().split_off(&v_safe.next());
     }
 }
 

@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Pre-PR gate: everything a change must pass before it ships.
+#
+# Fully offline — dependencies are vendored as stubs under third_party/
+# (see third_party/README.md), so no registry or network access is needed.
+# rustfmt is optional in minimal toolchains; its step is skipped with a
+# notice when absent rather than failing the gate.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+step() {
+    echo
+    echo "==> $*"
+    "$@"
+}
+
+step cargo build --release
+
+# Tier-1: the root package's unit/integration/property/doc tests.
+step cargo test -q
+
+# The full workspace: every crate's suites.
+step cargo test --workspace -q
+
+echo
+echo "==> cargo doc --no-deps --workspace (warnings denied)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
+
+if cargo fmt --version >/dev/null 2>&1; then
+    step cargo fmt --check
+else
+    echo
+    echo "==> cargo fmt --check SKIPPED (rustfmt not installed)"
+fi
+
+echo
+echo "All checks passed."

@@ -52,6 +52,7 @@
 //! | [`protocol`] | libDPR: StateObject, client/server hooks, cut finders |
 //! | [`cluster`] | D-FASTER / D-Redis deployments, cluster manager, client sessions |
 //! | [`ycsb`] | workload generation and measurement |
+//! | [`telemetry`] | metrics/span layer (see `docs/OBSERVABILITY.md`) |
 
 pub use dpr_cassandra as cassandra;
 pub use dpr_core as core;
@@ -60,6 +61,7 @@ pub use dpr_log as shared_log;
 pub use dpr_metadata as metadata;
 pub use dpr_redis as redis;
 pub use dpr_storage as storage;
+pub use dpr_telemetry as telemetry;
 pub use dpr_ycsb as ycsb;
 pub use libdpr as protocol;
 

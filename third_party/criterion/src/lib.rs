@@ -1,0 +1,252 @@
+//! Offline stand-in for the `criterion` crate (see `third_party/README.md`).
+//!
+//! Implements the API surface this workspace's benches use — `Criterion`
+//! builder knobs, `benchmark_group`, `Throughput`, `black_box`, and the
+//! `criterion_group!` / `criterion_main!` macros — over a simple wall-clock
+//! loop. No statistical analysis, HTML reports, or outlier rejection: each
+//! `bench_function` warms up, then runs timed batches for roughly the
+//! configured measurement time and prints mean per-iteration latency (plus
+//! derived throughput when configured).
+
+use std::time::{Duration, Instant};
+
+/// Prevent the optimizer from deleting a computed value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Per-element or per-byte scaling for reported throughput.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Iterations process this many logical elements each.
+    Elements(u64),
+    /// Iterations process this many bytes each.
+    Bytes(u64),
+}
+
+/// Benchmark harness configuration and entry point.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 100,
+            measurement_time: Duration::from_secs(5),
+            warm_up_time: Duration::from_secs(3),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Target total time spent measuring each benchmark.
+    #[must_use]
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Time spent running the closure before measurement starts.
+    #[must_use]
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            warm_up_time: self.warm_up_time,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+}
+
+/// A named group of benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set throughput scaling for subsequent benchmarks in this group.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Override the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+            sample_size: self.sample_size,
+            mean: Duration::ZERO,
+            iterations: 0,
+        };
+        f(&mut bencher);
+        let mean = bencher.mean;
+        let mut line = format!(
+            "{}/{id}: {:>12} per iter ({} iters)",
+            self.name,
+            format_duration(mean),
+            bencher.iterations
+        );
+        if let Some(t) = self.throughput {
+            let per_sec = |unit: u64| {
+                if mean.is_zero() {
+                    f64::INFINITY
+                } else {
+                    unit as f64 / mean.as_secs_f64()
+                }
+            };
+            match t {
+                Throughput::Elements(n) => {
+                    line.push_str(&format!(", {:.3} Melem/s", per_sec(n) / 1e6));
+                }
+                Throughput::Bytes(n) => {
+                    line.push_str(&format!(", {:.3} MiB/s", per_sec(n) / (1024.0 * 1024.0)));
+                }
+            }
+        }
+        println!("{line}");
+        self
+    }
+
+    /// End the group (accepted for API compatibility; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// Passed to the closure given to `bench_function`; runs the timed loop.
+pub struct Bencher {
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    sample_size: usize,
+    mean: Duration,
+    iterations: u64,
+}
+
+impl Bencher {
+    /// Time `f`, storing the mean per-iteration duration.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: discover a per-sample iteration count while paging
+        // everything in.
+        let warm_deadline = Instant::now() + self.warm_up_time;
+        let mut warm_iters: u64 = 0;
+        while Instant::now() < warm_deadline {
+            black_box(f());
+            warm_iters += 1;
+        }
+        let elapsed_warm = self.warm_up_time.as_secs_f64();
+        let per_iter = elapsed_warm / warm_iters.max(1) as f64;
+        let budget = self.measurement_time.as_secs_f64();
+        let per_sample = ((budget / self.sample_size as f64 / per_iter.max(1e-9)) as u64).max(1);
+
+        let mut total = Duration::ZERO;
+        let mut iterations = 0u64;
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..per_sample {
+                black_box(f());
+            }
+            total += start.elapsed();
+            iterations += per_sample;
+        }
+        self.mean = total.div_f64(iterations.max(1) as f64);
+        self.iterations = iterations;
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.2} s", nanos as f64 / 1e9)
+    }
+}
+
+/// Define a benchmark group function, mirroring criterion's macro grammar.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Define the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_positive_mean() {
+        let mut c = Criterion::default()
+            .sample_size(5)
+            .measurement_time(Duration::from_millis(20))
+            .warm_up_time(Duration::from_millis(5));
+        let mut g = c.benchmark_group("smoke");
+        g.throughput(Throughput::Elements(1));
+        g.bench_function("add", |b| b.iter(|| black_box(2u64) + black_box(3)));
+        g.finish();
+    }
+
+    #[test]
+    fn format_duration_scales() {
+        assert!(format_duration(Duration::from_nanos(500)).contains("ns"));
+        assert!(format_duration(Duration::from_micros(5)).contains("µs"));
+        assert!(format_duration(Duration::from_millis(5)).contains("ms"));
+        assert!(format_duration(Duration::from_secs(5)).contains("s"));
+    }
+}

@@ -1,0 +1,555 @@
+//! Offline stand-in for the `serde` crate (see `third_party/README.md`).
+//!
+//! Instead of serde's visitor-driven zero-copy architecture, this stub uses
+//! a concrete [`Value`] tree as the data model: [`Serialize`] renders a type
+//! into a `Value`, [`Deserialize`] rebuilds the type from a `&Value`, and
+//! format crates (here: the `serde_json` stub) convert `Value` to and from
+//! text. This is slower than real serde but behaviourally equivalent for
+//! the workspace's manifests and wire frames, and it keeps the derive macro
+//! small enough to hand-roll without `syn`/`quote`.
+//!
+//! Encoding conventions mirror `serde_json`'s defaults so that on-disk
+//! manifests look like what the real crates would produce:
+//! - newtype structs are transparent (`Version(7)` → `7`);
+//! - structs are maps keyed by field name;
+//! - enums are externally tagged (`"Rest"`, `{"Storage": "msg"}`);
+//! - tuples and tuple structs with two or more fields are sequences;
+//! - `Option` is `null` or the value, `Result` is `{"Ok": ..}`/`{"Err": ..}`;
+//! - `Duration` is `{"secs": .., "nanos": ..}`.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::fmt;
+use std::time::Duration;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The self-describing data model every type serializes into.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`; also the encoding of `None` and unit.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A non-negative integer.
+    U64(u64),
+    /// A negative integer (non-negative `i64`s serialize as [`Value::U64`]).
+    I64(i64),
+    /// A floating-point number.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// A sequence (arrays, tuples, sets, multi-field tuple structs).
+    Seq(Vec<Value>),
+    /// An ordered list of key/value pairs (structs, maps, tagged enums).
+    /// Kept as a `Vec` rather than a map so non-string keys survive until
+    /// the format layer decides how to render them.
+    Map(Vec<(Value, Value)>),
+}
+
+impl Value {
+    /// Borrow as `&str` if this is a string.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Borrow as a slice of map entries if this is a map.
+    #[must_use]
+    pub fn as_map(&self) -> Option<&[(Value, Value)]> {
+        match self {
+            Value::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Borrow as a slice of elements if this is a sequence.
+    #[must_use]
+    pub fn as_seq(&self) -> Option<&[Value]> {
+        match self {
+            Value::Seq(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Short name of the variant, used in error messages.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::U64(_) | Value::I64(_) => "integer",
+            Value::F64(_) => "float",
+            Value::Str(_) => "string",
+            Value::Seq(_) => "sequence",
+            Value::Map(_) => "map",
+        }
+    }
+}
+
+/// Deserialization error: what was expected and what was found.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// Free-form error.
+    #[must_use]
+    pub fn custom(msg: impl Into<String>) -> Error {
+        Error { msg: msg.into() }
+    }
+
+    /// "expected X, got Y" error.
+    #[must_use]
+    pub fn unexpected(expected: &str, got: &Value) -> Error {
+        Error {
+            msg: format!("expected {expected}, got {}", got.kind()),
+        }
+    }
+
+    /// A struct field was absent and has no default.
+    #[must_use]
+    pub fn missing_field(field: &str, ty: &str) -> Error {
+        Error {
+            msg: format!("missing field `{field}` of `{ty}`"),
+        }
+    }
+
+    /// An enum tag did not name any known variant.
+    #[must_use]
+    pub fn unknown_variant(variant: &str, ty: &str) -> Error {
+        Error {
+            msg: format!("unknown variant `{variant}` of `{ty}`"),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types that can render themselves into the [`Value`] data model.
+pub trait Serialize {
+    /// Render into a [`Value`] tree.
+    fn serialize(&self) -> Value;
+}
+
+/// Types that can rebuild themselves from a [`Value`] tree.
+///
+/// The lifetime parameter carries no borrow in this stub (everything is
+/// copied out of the tree); it exists so `for<'de> Deserialize<'de>` bounds
+/// written against real serde still compile.
+pub trait Deserialize<'de>: Sized {
+    /// Rebuild from a [`Value`] tree.
+    fn deserialize(v: &Value) -> Result<Self, Error>;
+}
+
+/// Look up a field by name in a struct's map entries (derive-macro helper).
+#[doc(hidden)]
+#[must_use]
+pub fn __field<'a>(entries: &'a [(Value, Value)], name: &str) -> Option<&'a Value> {
+    entries
+        .iter()
+        .find(|(k, _)| matches!(k, Value::Str(s) if s == name))
+        .map(|(_, v)| v)
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+impl Serialize for bool {
+    fn serialize(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::unexpected("bool", other)),
+        }
+    }
+}
+
+macro_rules! unsigned_impls {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                Value::U64(u64::from(*self))
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize(v: &Value) -> Result<Self, Error> {
+                let n = match v {
+                    Value::U64(n) => *n,
+                    Value::I64(n) if *n >= 0 => *n as u64,
+                    // Integer map keys arrive as strings from JSON objects.
+                    Value::Str(s) => s
+                        .parse::<u64>()
+                        .map_err(|_| Error::unexpected("integer", v))?,
+                    other => return Err(Error::unexpected("integer", other)),
+                };
+                <$t>::try_from(n).map_err(|_| {
+                    Error::custom(format!("{n} out of range for {}", stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+unsigned_impls!(u8, u16, u32, u64);
+
+impl Serialize for usize {
+    fn serialize(&self) -> Value {
+        Value::U64(*self as u64)
+    }
+}
+impl<'de> Deserialize<'de> for usize {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        u64::deserialize(v).map(|n| n as usize)
+    }
+}
+
+macro_rules! signed_impls {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                let n = i64::from(*self);
+                if n >= 0 { Value::U64(n as u64) } else { Value::I64(n) }
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize(v: &Value) -> Result<Self, Error> {
+                let n = match v {
+                    Value::I64(n) => *n,
+                    Value::U64(n) => i64::try_from(*n)
+                        .map_err(|_| Error::custom(format!("{n} out of i64 range")))?,
+                    Value::Str(s) => s
+                        .parse::<i64>()
+                        .map_err(|_| Error::unexpected("integer", v))?,
+                    other => return Err(Error::unexpected("integer", other)),
+                };
+                <$t>::try_from(n).map_err(|_| {
+                    Error::custom(format!("{n} out of range for {}", stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+signed_impls!(i8, i16, i32, i64);
+
+impl Serialize for f64 {
+    fn serialize(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+impl<'de> Deserialize<'de> for f64 {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::F64(f) => Ok(*f),
+            Value::U64(n) => Ok(*n as f64),
+            Value::I64(n) => Ok(*n as f64),
+            other => Err(Error::unexpected("float", other)),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize(&self) -> Value {
+        Value::F64(f64::from(*self))
+    }
+}
+impl<'de> Deserialize<'de> for f32 {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        f64::deserialize(v).map(|f| f as f32)
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+impl<'de> Deserialize<'de> for String {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(Error::unexpected("string", other)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self) -> Value {
+        match self {
+            Some(t) => t.serialize(),
+            None => Value::Null,
+        }
+    }
+}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::deserialize(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::serialize).collect())
+    }
+}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Seq(items) => items.iter().map(T::deserialize).collect(),
+            other => Err(Error::unexpected("sequence", other)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        T::deserialize(v).map(Box::new)
+    }
+}
+
+macro_rules! tuple_impls {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn serialize(&self) -> Value {
+                Value::Seq(vec![$(self.$n.serialize()),+])
+            }
+        }
+        impl<'de, $($t: Deserialize<'de>),+> Deserialize<'de> for ($($t,)+) {
+            fn deserialize(v: &Value) -> Result<Self, Error> {
+                const ARITY: usize = 0 $(+ { let _ = $n; 1 })+;
+                let items = v.as_seq().ok_or_else(|| Error::unexpected("tuple", v))?;
+                if items.len() != ARITY {
+                    return Err(Error::custom(format!(
+                        "expected tuple of {ARITY}, got {} elements",
+                        items.len()
+                    )));
+                }
+                Ok(($($t::deserialize(&items[$n])?,)+))
+            }
+        }
+    )*};
+}
+tuple_impls! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn serialize(&self) -> Value {
+        Value::Map(
+            self.iter()
+                .map(|(k, v)| (k.serialize(), v.serialize()))
+                .collect(),
+        )
+    }
+}
+impl<'de, K: Deserialize<'de> + Ord, V: Deserialize<'de>> Deserialize<'de> for BTreeMap<K, V> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Map(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((K::deserialize(k)?, V::deserialize(v)?)))
+                .collect(),
+            other => Err(Error::unexpected("map", other)),
+        }
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for HashMap<K, V> {
+    fn serialize(&self) -> Value {
+        // Sort rendered entries for deterministic output.
+        let mut entries: Vec<(Value, Value)> = self
+            .iter()
+            .map(|(k, v)| (k.serialize(), v.serialize()))
+            .collect();
+        entries.sort_by(|(a, _), (b, _)| format!("{a:?}").cmp(&format!("{b:?}")));
+        Value::Map(entries)
+    }
+}
+impl<'de, K, V> Deserialize<'de> for HashMap<K, V>
+where
+    K: Deserialize<'de> + std::hash::Hash + Eq,
+    V: Deserialize<'de>,
+{
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Map(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((K::deserialize(k)?, V::deserialize(v)?)))
+                .collect(),
+            other => Err(Error::unexpected("map", other)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for BTreeSet<T> {
+    fn serialize(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::serialize).collect())
+    }
+}
+impl<'de, T: Deserialize<'de> + Ord> Deserialize<'de> for BTreeSet<T> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Seq(items) => items.iter().map(T::deserialize).collect(),
+            other => Err(Error::unexpected("sequence", other)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for HashSet<T> {
+    fn serialize(&self) -> Value {
+        let mut rendered: Vec<Value> = self.iter().map(Serialize::serialize).collect();
+        rendered.sort_by(|a, b| format!("{a:?}").cmp(&format!("{b:?}")));
+        Value::Seq(rendered)
+    }
+}
+impl<'de, T: Deserialize<'de> + std::hash::Hash + Eq> Deserialize<'de> for HashSet<T> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Seq(items) => items.iter().map(T::deserialize).collect(),
+            other => Err(Error::unexpected("sequence", other)),
+        }
+    }
+}
+
+impl<T: Serialize, E: Serialize> Serialize for Result<T, E> {
+    fn serialize(&self) -> Value {
+        match self {
+            Ok(t) => Value::Map(vec![(Value::Str("Ok".to_string()), t.serialize())]),
+            Err(e) => Value::Map(vec![(Value::Str("Err".to_string()), e.serialize())]),
+        }
+    }
+}
+impl<'de, T: Deserialize<'de>, E: Deserialize<'de>> Deserialize<'de> for Result<T, E> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        let entries = v
+            .as_map()
+            .ok_or_else(|| Error::unexpected("Ok/Err map", v))?;
+        match entries {
+            [(Value::Str(tag), payload)] if tag == "Ok" => T::deserialize(payload).map(Ok),
+            [(Value::Str(tag), payload)] if tag == "Err" => E::deserialize(payload).map(Err),
+            _ => Err(Error::unexpected("Ok/Err map", v)),
+        }
+    }
+}
+
+impl Serialize for Duration {
+    fn serialize(&self) -> Value {
+        Value::Map(vec![
+            (Value::Str("secs".to_string()), Value::U64(self.as_secs())),
+            (
+                Value::Str("nanos".to_string()),
+                Value::U64(u64::from(self.subsec_nanos())),
+            ),
+        ])
+    }
+}
+impl<'de> Deserialize<'de> for Duration {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        let entries = v
+            .as_map()
+            .ok_or_else(|| Error::unexpected("duration map", v))?;
+        let secs = __field(entries, "secs")
+            .ok_or_else(|| Error::missing_field("secs", "Duration"))
+            .and_then(u64::deserialize)?;
+        let nanos = __field(entries, "nanos")
+            .ok_or_else(|| Error::missing_field("nanos", "Duration"))
+            .and_then(u32::deserialize)?;
+        Ok(Duration::new(secs, nanos))
+    }
+}
+
+impl Serialize for Value {
+    fn serialize(&self) -> Value {
+        self.clone()
+    }
+}
+impl<'de> Deserialize<'de> for Value {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u64::deserialize(&42u64.serialize()), Ok(42));
+        assert_eq!(i64::deserialize(&(-7i64).serialize()), Ok(-7));
+        assert_eq!(
+            String::deserialize(&"hi".to_string().serialize()),
+            Ok("hi".to_string())
+        );
+        assert_eq!(
+            Option::<u64>::deserialize(&None::<u64>.serialize()),
+            Ok(None)
+        );
+    }
+
+    #[test]
+    fn integer_accepts_stringified_map_key() {
+        assert_eq!(u32::deserialize(&Value::Str("17".into())), Ok(17));
+        assert!(u32::deserialize(&Value::Str("nope".into())).is_err());
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let mut m = BTreeMap::new();
+        m.insert(1u64, "a".to_string());
+        m.insert(2, "b".to_string());
+        assert_eq!(BTreeMap::<u64, String>::deserialize(&m.serialize()), Ok(m));
+
+        let r: Result<u64, String> = Err("boom".to_string());
+        assert_eq!(
+            Result::<u64, String>::deserialize(&r.serialize()),
+            Ok(r.clone())
+        );
+
+        let d = Duration::new(3, 500);
+        assert_eq!(Duration::deserialize(&d.serialize()), Ok(d));
+
+        let t = (1u64, "x".to_string());
+        assert_eq!(<(u64, String)>::deserialize(&t.serialize()), Ok(t));
+    }
+}

@@ -1,0 +1,451 @@
+//! Offline stand-in for `serde_derive` (see `third_party/README.md`).
+//!
+//! Derives the serde stub's [`Serialize`]/[`Deserialize`] traits, which
+//! render through a concrete `serde::Value` tree rather than visitors. The
+//! macro parses the item's `TokenStream` directly — no `syn`/`quote`, which
+//! are unavailable offline — and emits the impl as formatted source text.
+//!
+//! Supported shapes (everything this workspace derives on):
+//! - unit / newtype / tuple / named-field structs (newtypes are transparent,
+//!   matching serde's default representation);
+//! - enums with unit, tuple, and named-field variants, externally tagged;
+//! - the `#[serde(default)]` field attribute.
+//!
+//! Generics and other `#[serde(...)]` attributes are rejected with a
+//! compile error rather than silently mis-handled.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::iter::Peekable;
+
+struct Field {
+    name: String,
+    default: bool,
+}
+
+enum Shape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+enum Item {
+    Struct {
+        name: String,
+        shape: Shape,
+    },
+    Enum {
+        name: String,
+        variants: Vec<(String, Shape)>,
+    },
+}
+
+/// Derive the serde stub's `Serialize` trait.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_serialize)
+}
+
+/// Derive the serde stub's `Deserialize` trait.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_deserialize)
+}
+
+fn expand(input: TokenStream, gen: fn(&Item) -> String) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen(&item)
+            .parse()
+            .expect("serde_derive: generated impl failed to parse"),
+        Err(msg) => format!("compile_error!({msg:?});")
+            .parse()
+            .expect("compile_error emission failed"),
+    }
+}
+
+type Tokens = Peekable<proc_macro::token_stream::IntoIter>;
+
+/// Skip a run of `#[...]` attributes; returns true if any of them was
+/// `#[serde(default)]`.
+fn skip_attrs(iter: &mut Tokens) -> Result<bool, String> {
+    let mut has_default = false;
+    while matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        iter.next();
+        let Some(TokenTree::Group(g)) = iter.next() else {
+            return Err("expected [...] after #".to_string());
+        };
+        let mut inner = g.stream().into_iter();
+        if let Some(TokenTree::Ident(head)) = inner.next() {
+            if head.to_string() == "serde" {
+                let Some(TokenTree::Group(args)) = inner.next() else {
+                    return Err("expected (...) after #[serde".to_string());
+                };
+                for tt in args.stream() {
+                    match &tt {
+                        TokenTree::Ident(i) if i.to_string() == "default" => has_default = true,
+                        TokenTree::Punct(p) if p.as_char() == ',' => {}
+                        other => {
+                            return Err(format!(
+                                "unsupported #[serde(...)] argument `{other}`; \
+                                 this offline stub only implements `default`"
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(has_default)
+}
+
+/// Skip `pub`, `pub(crate)`, `pub(in ...)`.
+fn skip_visibility(iter: &mut Tokens) {
+    if matches!(iter.peek(), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+        iter.next();
+        if matches!(iter.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            iter.next();
+        }
+    }
+}
+
+fn expect_ident(iter: &mut Tokens, what: &str) -> Result<String, String> {
+    match iter.next() {
+        Some(TokenTree::Ident(i)) => Ok(i.to_string()),
+        other => Err(format!("expected {what}, got {other:?}")),
+    }
+}
+
+/// Consume tokens up to and including a top-level `,` (or end of stream),
+/// treating `<`/`>` as nesting so commas inside generic arguments are not
+/// field separators.
+fn skip_type(iter: &mut Tokens) {
+    let mut angle_depth = 0i32;
+    while let Some(tt) = iter.peek() {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                iter.next();
+                return;
+            }
+            _ => {}
+        }
+        iter.next();
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
+    let mut iter = stream.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        let default = skip_attrs(&mut iter)?;
+        if iter.peek().is_none() {
+            return Ok(fields);
+        }
+        skip_visibility(&mut iter);
+        let name = expect_ident(&mut iter, "field name")?;
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => return Err(format!("expected `:` after field `{name}`, got {other:?}")),
+        }
+        skip_type(&mut iter);
+        fields.push(Field { name, default });
+    }
+}
+
+/// Count the fields of a tuple struct / tuple variant body.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut angle_depth = 0i32;
+    let mut fields = 0usize;
+    let mut in_field = false;
+    for tt in stream {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => in_field = false,
+            _ => {
+                if !in_field {
+                    fields += 1;
+                    in_field = true;
+                }
+            }
+        }
+    }
+    fields
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<(String, Shape)>, String> {
+    let mut iter = stream.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        skip_attrs(&mut iter)?;
+        if iter.peek().is_none() {
+            return Ok(variants);
+        }
+        let name = expect_ident(&mut iter, "variant name")?;
+        let shape = match iter.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let g = g.stream();
+                iter.next();
+                Shape::Tuple(count_tuple_fields(g))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let g = g.stream();
+                iter.next();
+                Shape::Named(parse_named_fields(g)?)
+            }
+            _ => Shape::Unit,
+        };
+        // Skip to the comma separating variants (handles discriminants).
+        while let Some(tt) = iter.peek() {
+            if matches!(tt, TokenTree::Punct(p) if p.as_char() == ',') {
+                iter.next();
+                break;
+            }
+            iter.next();
+        }
+        variants.push((name, shape));
+    }
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut iter = input.into_iter().peekable();
+    skip_attrs(&mut iter)?;
+    skip_visibility(&mut iter);
+    let kind = expect_ident(&mut iter, "`struct` or `enum`")?;
+    let name = expect_ident(&mut iter, "item name")?;
+    if matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde stub derive does not support generics (on `{name}`)"
+        ));
+    }
+    match (kind.as_str(), iter.next()) {
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Ok(Item::Struct {
+                name,
+                shape: Shape::Named(parse_named_fields(g.stream())?),
+            })
+        }
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Parenthesis => {
+            Ok(Item::Struct {
+                name,
+                shape: Shape::Tuple(count_tuple_fields(g.stream())),
+            })
+        }
+        ("struct", Some(TokenTree::Punct(p))) if p.as_char() == ';' => Ok(Item::Struct {
+            name,
+            shape: Shape::Unit,
+        }),
+        ("enum", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Ok(Item::Enum {
+                name,
+                variants: parse_variants(g.stream())?,
+            })
+        }
+        (k, t) => Err(format!("cannot derive for `{k}` item (next token: {t:?})")),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+/// `Value::Map(vec![(Str(field), ser(field)), ...])` for named fields, with
+/// `prefix` selecting `self.` (structs) or bound locals (enum variants).
+fn ser_named(fields: &[Field], access: impl Fn(&str) -> String) -> String {
+    let entries: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "(::serde::Value::Str(::std::string::String::from({:?})), \
+                 ::serde::Serialize::serialize(&{}))",
+                f.name,
+                access(&f.name)
+            )
+        })
+        .collect();
+    format!("::serde::Value::Map(::std::vec![{}])", entries.join(", "))
+}
+
+/// Field initializers rebuilding named fields from map entries bound to `__m`.
+fn de_named(fields: &[Field], ty: &str) -> Vec<String> {
+    fields
+        .iter()
+        .map(|f| {
+            let missing = if f.default {
+                "::std::default::Default::default()".to_string()
+            } else {
+                format!(
+                    "return ::std::result::Result::Err(::serde::Error::missing_field({:?}, {ty:?}))",
+                    f.name
+                )
+            };
+            format!(
+                "{name}: match ::serde::__field(__m, {name:?}) {{ \
+                 ::std::option::Option::Some(__v) => ::serde::Deserialize::deserialize(__v)?, \
+                 ::std::option::Option::None => {missing}, }},",
+                name = f.name
+            )
+        })
+        .collect()
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let (name, body) = match item {
+        Item::Struct { name, shape } => {
+            let body = match shape {
+                Shape::Unit => "::serde::Value::Null".to_string(),
+                Shape::Tuple(1) => "::serde::Serialize::serialize(&self.0)".to_string(),
+                Shape::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Serialize::serialize(&self.{i})"))
+                        .collect();
+                    format!("::serde::Value::Seq(::std::vec![{}])", items.join(", "))
+                }
+                Shape::Named(fields) => ser_named(fields, |f| format!("self.{f}")),
+            };
+            (name, body)
+        }
+        Item::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|(vname, shape)| {
+                    let tag = format!(
+                        "::serde::Value::Str(::std::string::String::from({vname:?}))"
+                    );
+                    match shape {
+                        Shape::Unit => format!("{name}::{vname} => {tag},"),
+                        Shape::Tuple(1) => format!(
+                            "{name}::{vname}(__f0) => ::serde::Value::Map(::std::vec![({tag}, \
+                             ::serde::Serialize::serialize(__f0))]),"
+                        ),
+                        Shape::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Serialize::serialize(__f{i})"))
+                                .collect();
+                            format!(
+                                "{name}::{vname}({}) => ::serde::Value::Map(::std::vec![({tag}, \
+                                 ::serde::Value::Seq(::std::vec![{}]))]),",
+                                binds.join(", "),
+                                items.join(", ")
+                            )
+                        }
+                        Shape::Named(fields) => {
+                            let binds: Vec<String> =
+                                fields.iter().map(|f| f.name.clone()).collect();
+                            let map = ser_named(fields, |f| f.to_string());
+                            format!(
+                                "{name}::{vname} {{ {} }} => ::serde::Value::Map(::std::vec![({tag}, {map})]),",
+                                binds.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            (name, format!("match self {{ {} }}", arms.join(" ")))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{ \
+         fn serialize(&self) -> ::serde::Value {{ {body} }} }}"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let (name, body) = match item {
+        Item::Struct { name, shape } => {
+            let body = match shape {
+                Shape::Unit => format!("::std::result::Result::Ok({name})"),
+                Shape::Tuple(1) => format!(
+                    "::std::result::Result::Ok({name}(::serde::Deserialize::deserialize(__v)?))"
+                ),
+                Shape::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Deserialize::deserialize(&__items[{i}])?"))
+                        .collect();
+                    format!(
+                        "let __items = __v.as_seq().ok_or_else(|| \
+                         ::serde::Error::unexpected(\"sequence for {name}\", __v))?; \
+                         if __items.len() != {n} {{ return ::std::result::Result::Err(\
+                         ::serde::Error::custom(::std::format!(\
+                         \"expected {n} fields for {name}, got {{}}\", __items.len()))); }} \
+                         ::std::result::Result::Ok({name}({}))",
+                        items.join(", ")
+                    )
+                }
+                Shape::Named(fields) => format!(
+                    "let __m = __v.as_map().ok_or_else(|| \
+                     ::serde::Error::unexpected(\"map for {name}\", __v))?; \
+                     ::std::result::Result::Ok({name} {{ {} }})",
+                    de_named(fields, name).join(" ")
+                ),
+            };
+            (name, body)
+        }
+        Item::Enum { name, variants } => {
+            // Unit variants match a bare string tag; payload variants match a
+            // single-entry map keyed by the tag.
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|(_, s)| matches!(s, Shape::Unit))
+                .map(|(vname, _)| {
+                    format!("{vname:?} => ::std::result::Result::Ok({name}::{vname}),")
+                })
+                .collect();
+            let payload_arms: Vec<String> = variants
+                .iter()
+                .map(|(vname, shape)| match shape {
+                    Shape::Unit => format!(
+                        "{vname:?} => ::std::result::Result::Ok({name}::{vname}),"
+                    ),
+                    Shape::Tuple(1) => format!(
+                        "{vname:?} => ::std::result::Result::Ok({name}::{vname}(\
+                         ::serde::Deserialize::deserialize(__payload)?)),"
+                    ),
+                    Shape::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::deserialize(&__items[{i}])?"))
+                            .collect();
+                        format!(
+                            "{vname:?} => {{ let __items = __payload.as_seq().ok_or_else(|| \
+                             ::serde::Error::unexpected(\"sequence for {name}::{vname}\", __payload))?; \
+                             if __items.len() != {n} {{ return ::std::result::Result::Err(\
+                             ::serde::Error::custom(::std::format!(\
+                             \"expected {n} fields for {name}::{vname}, got {{}}\", __items.len()))); }} \
+                             ::std::result::Result::Ok({name}::{vname}({})) }}",
+                            items.join(", ")
+                        )
+                    }
+                    Shape::Named(fields) => format!(
+                        "{vname:?} => {{ let __m = __payload.as_map().ok_or_else(|| \
+                         ::serde::Error::unexpected(\"map for {name}::{vname}\", __payload))?; \
+                         ::std::result::Result::Ok({name}::{vname} {{ {} }}) }}",
+                        de_named(fields, &format!("{name}::{vname}")).join(" ")
+                    ),
+                })
+                .collect();
+            let body = format!(
+                "match __v {{ \
+                 ::serde::Value::Str(__s) => match __s.as_str() {{ {unit} \
+                 __other => ::std::result::Result::Err(::serde::Error::unknown_variant(__other, {name:?})), }}, \
+                 ::serde::Value::Map(__entries) if __entries.len() == 1 => {{ \
+                 let (__k, __payload) = &__entries[0]; \
+                 let __tag = __k.as_str().ok_or_else(|| \
+                 ::serde::Error::unexpected(\"string variant tag\", __k))?; \
+                 match __tag {{ {payload} \
+                 __other => ::std::result::Result::Err(::serde::Error::unknown_variant(__other, {name:?})), }} }}, \
+                 __other => ::std::result::Result::Err(\
+                 ::serde::Error::unexpected(\"enum {name}\", __other)), }}",
+                unit = unit_arms.join(" "),
+                payload = payload_arms.join(" ")
+            );
+            (name, body)
+        }
+    };
+    format!(
+        "impl<'de> ::serde::Deserialize<'de> for {name} {{ \
+         fn deserialize(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{ \
+         {body} }} }}"
+    )
+}
