@@ -1,0 +1,400 @@
+//! Gate scaling — server-side gate throughput vs. executor threads (§6).
+//!
+//! The paper's §6 requires the before/after batch hooks to be "implemented
+//! scalably": they run on every batch, so any cross-thread serialization in
+//! them becomes the cluster's throughput ceiling. This bench pits two gate
+//! implementations against each other under an identical simulated executor
+//! pipeline:
+//!
+//! * **legacy** — the pre-rewrite gate: one global `Mutex<BTreeMap<Version,
+//!   BTreeSet<Token>>>` on the record path, and one metadata statement per
+//!   commit report on the drain path (kept here, verbatim, as the baseline).
+//! * **striped** — the current [`DprServer`]: lock-free striped max-per-shard
+//!   accumulation plus one *grouped* `report_commits` (one metadata round
+//!   trip) per drain.
+//!
+//! Each executor thread simulates batch arrival/execution with a short sleep
+//! (`DPR_GATE_BATCH_US`, standing in for the store-side work that runs on
+//! many cores in the paper's deployment), then runs the gate's after-hook. A
+//! version seals every `DPR_GATE_SEAL_EVERY` batches; a pump thread drains
+//! commit reports to a [`HybridFinder`] over a [`SimulatedSqlStore`] whose
+//! per-statement latency (`DPR_GATE_SQL_US`) models the remote metadata
+//! database. Executors stall (bounded backoff) once `DPR_GATE_WINDOW` sealed
+//! versions await reporting — the commit-latency SLA that couples record
+//! throughput to drain throughput, exactly the §3.4 metadata bottleneck.
+//!
+//! Output: one `gate` row per (implementation, thread-count) point and a
+//! JSON report (`DPR_GATE_JSON`, default `BENCH_gate.json`) whose summary
+//! holds the two acceptance numbers: throughput scaling 1→max threads per
+//! gate, and metadata statements per committed version per gate.
+
+use dpr_bench::point_duration;
+use dpr_bench::util::{env_list, row};
+use dpr_core::{Backoff, SessionId, ShardId, Token, Version, WorldLine};
+use dpr_metadata::{MetadataStore, SimulatedSqlStore};
+use libdpr::{BatchHeader, CommitDescriptor, DprFinder, DprServer, HybridFinder, StateObject};
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, BTreeSet};
+use std::io::Write as _;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Shard-0 state object for the pipeline: versions seal externally.
+struct BenchSo {
+    current: AtomicU64,
+    pending: Mutex<Vec<CommitDescriptor>>,
+}
+
+impl BenchSo {
+    fn new() -> Self {
+        BenchSo {
+            current: AtomicU64::new(1),
+            pending: Mutex::new(Vec::new()),
+        }
+    }
+
+    fn seal(&self) {
+        let v = self.current.fetch_add(1, Ordering::AcqRel);
+        self.pending.lock().push(CommitDescriptor {
+            version: Version(v),
+        });
+    }
+}
+
+impl StateObject for BenchSo {
+    fn shard(&self) -> ShardId {
+        ShardId(0)
+    }
+    fn current_version(&self) -> Version {
+        Version(self.current.load(Ordering::Acquire))
+    }
+    fn durable_version(&self) -> Version {
+        Version::ZERO
+    }
+    fn request_commit(&self, _target: Option<Version>) -> bool {
+        false
+    }
+    fn take_commits(&self) -> Vec<CommitDescriptor> {
+        std::mem::take(&mut *self.pending.lock())
+    }
+    fn restore(&self, _version: Version) -> dpr_core::Result<()> {
+        Ok(())
+    }
+}
+
+/// The two gate implementations under test.
+trait Gate: Send + Sync {
+    fn record(&self, header: &BatchHeader, executed: Version);
+    fn pump(&self, so: &BenchSo, finder: &dyn DprFinder) -> usize;
+}
+
+/// The pre-rewrite gate, kept as the measured baseline: every executor
+/// funnels through one mutex-protected version-keyed map; every sealed
+/// version costs one metadata round trip at report time.
+struct LegacyGate {
+    shard: ShardId,
+    deps: Mutex<BTreeMap<Version, BTreeSet<Token>>>,
+}
+
+impl LegacyGate {
+    fn new(shard: ShardId) -> Self {
+        LegacyGate {
+            shard,
+            deps: Mutex::new(BTreeMap::new()),
+        }
+    }
+}
+
+impl Gate for LegacyGate {
+    fn record(&self, header: &BatchHeader, executed: Version) {
+        if header.deps.is_empty() {
+            return;
+        }
+        let mut deps = self.deps.lock();
+        let set = deps.entry(executed).or_default();
+        for d in &header.deps {
+            if d.shard != self.shard && d.version > Version::ZERO {
+                set.insert(*d);
+            }
+        }
+    }
+
+    fn pump(&self, so: &BenchSo, finder: &dyn DprFinder) -> usize {
+        let commits = so.take_commits();
+        let n = commits.len();
+        for desc in commits {
+            let dep_tokens: Vec<Token> = {
+                let mut deps = self.deps.lock();
+                let mut below = deps.split_off(&desc.version.next());
+                std::mem::swap(&mut below, &mut deps);
+                below.into_values().flatten().collect()
+            };
+            finder
+                .report_commit(Token::new(self.shard, desc.version), dep_tokens)
+                .expect("report");
+        }
+        n
+    }
+}
+
+/// The current striped gate.
+struct StripedGate(DprServer);
+
+impl Gate for StripedGate {
+    fn record(&self, header: &BatchHeader, executed: Version) {
+        self.0.record_batch(header, executed);
+    }
+
+    fn pump(&self, so: &BenchSo, finder: &dyn DprFinder) -> usize {
+        self.0.pump_commits(so, finder).expect("pump").len()
+    }
+}
+
+struct Point {
+    gate: &'static str,
+    threads: u64,
+    batches_per_sec: f64,
+    versions_reported: u64,
+    statements_per_version: f64,
+}
+
+#[allow(clippy::too_many_lines)]
+fn run_point(gate_kind: &'static str, threads: u64, cfg: &Config) -> Point {
+    let meta = Arc::new(SimulatedSqlStore::with_latency(Duration::from_micros(
+        cfg.sql_us,
+    )));
+    meta.register_worker(ShardId(0)).expect("register");
+    for s in 1..=cfg.dep_shards {
+        meta.register_worker(ShardId(s)).expect("register");
+    }
+    let base_statements = meta.statement_count();
+    let finder: Arc<dyn DprFinder> = Arc::new(HybridFinder::new(meta.clone()));
+    let gate: Arc<dyn Gate> = match gate_kind {
+        "legacy" => Arc::new(LegacyGate::new(ShardId(0))),
+        _ => Arc::new(StripedGate(DprServer::new(ShardId(0)))),
+    };
+    let so = Arc::new(BenchSo::new());
+    let stop = Arc::new(AtomicBool::new(false));
+    let batches = Arc::new(AtomicU64::new(0));
+    let sealed = Arc::new(AtomicU64::new(0));
+    let reported = Arc::new(AtomicU64::new(0));
+
+    let mut handles = Vec::new();
+    for t in 0..threads {
+        let gate = gate.clone();
+        let so = so.clone();
+        let stop = stop.clone();
+        let batches = batches.clone();
+        let sealed = sealed.clone();
+        let reported = reported.clone();
+        let cfg = cfg.clone();
+        handles.push(std::thread::spawn(move || {
+            let mut backoff = Backoff::new();
+            while !stop.load(Ordering::Acquire) {
+                // Commit-latency SLA: stall once the report backlog is deep.
+                if sealed.load(Ordering::Acquire) - reported.load(Ordering::Acquire) >= cfg.window {
+                    backoff.snooze();
+                    continue;
+                }
+                backoff.reset();
+                // Simulated batch arrival + store-side execution.
+                if cfg.batch_us > 0 {
+                    std::thread::sleep(Duration::from_micros(cfg.batch_us));
+                }
+                let executed = so.current_version();
+                let n = batches.fetch_add(1, Ordering::AcqRel) + 1;
+                let dep_shard = ShardId(1 + (t as u32 + n as u32) % cfg.dep_shards);
+                let header = BatchHeader {
+                    session: SessionId(t),
+                    world_line: WorldLine(0),
+                    version_lower_bound: Version::ZERO,
+                    deps: vec![
+                        Token::new(dep_shard, executed),
+                        Token::new(ShardId(1 + n as u32 % cfg.dep_shards), executed),
+                    ],
+                    first_serial: 0,
+                    op_count: 1,
+                };
+                gate.record(&header, executed);
+                if n.is_multiple_of(cfg.seal_every) {
+                    so.seal();
+                    sealed.fetch_add(1, Ordering::AcqRel);
+                }
+            }
+        }));
+    }
+    let pump = {
+        let gate = gate.clone();
+        let so = so.clone();
+        let finder = finder.clone();
+        let stop = stop.clone();
+        let reported = reported.clone();
+        std::thread::spawn(move || {
+            let mut total = 0u64;
+            while !stop.load(Ordering::Acquire) {
+                let n = gate.pump(&so, finder.as_ref()) as u64;
+                total += n;
+                reported.fetch_add(n, Ordering::AcqRel);
+                if n == 0 {
+                    std::thread::sleep(Duration::from_micros(200));
+                }
+            }
+            total
+        })
+    };
+
+    let started = Instant::now();
+    std::thread::sleep(cfg.duration);
+    let elapsed = started.elapsed();
+    let recorded = batches.load(Ordering::Acquire);
+    stop.store(true, Ordering::Release);
+    for h in handles {
+        h.join().expect("executor");
+    }
+    let versions = pump.join().expect("pump");
+    let statements = meta.statement_count() - base_statements;
+
+    Point {
+        gate: gate_kind,
+        threads,
+        batches_per_sec: recorded as f64 / elapsed.as_secs_f64(),
+        versions_reported: versions,
+        statements_per_version: if versions == 0 {
+            f64::NAN
+        } else {
+            statements as f64 / versions as f64
+        },
+    }
+}
+
+#[derive(Clone)]
+struct Config {
+    duration: Duration,
+    sql_us: u64,
+    batch_us: u64,
+    seal_every: u64,
+    window: u64,
+    dep_shards: u32,
+}
+
+fn main() {
+    let _metrics = dpr_bench::metrics_dump();
+    let threads = env_list("DPR_GATE_THREADS", &[1, 2, 4, 8]);
+    let cfg = Config {
+        duration: point_duration(),
+        sql_us: env_u64("DPR_GATE_SQL_US", 2_000),
+        batch_us: env_u64("DPR_GATE_BATCH_US", 50),
+        seal_every: env_u64("DPR_GATE_SEAL_EVERY", 16),
+        window: env_u64("DPR_GATE_WINDOW", 64),
+        dep_shards: 4,
+    };
+    let mut points = Vec::new();
+    for gate in ["legacy", "striped"] {
+        for &t in &threads {
+            let p = run_point(gate, t, &cfg);
+            row(
+                "gate",
+                &[
+                    ("impl", p.gate.to_string()),
+                    ("threads", p.threads.to_string()),
+                    ("batches_per_sec", format!("{:.0}", p.batches_per_sec)),
+                    ("versions", p.versions_reported.to_string()),
+                    (
+                        "statements_per_version",
+                        format!("{:.3}", p.statements_per_version),
+                    ),
+                ],
+            );
+            points.push(p);
+        }
+    }
+
+    let scaling = |gate: &str| -> f64 {
+        let of = |t: u64| {
+            points
+                .iter()
+                .find(|p| p.gate == gate && p.threads == t)
+                .map(|p| p.batches_per_sec)
+        };
+        let lo = threads.first().copied().unwrap_or(1);
+        let hi = threads.last().copied().unwrap_or(1);
+        match (of(lo), of(hi)) {
+            (Some(a), Some(b)) if a > 0.0 => b / a,
+            _ => f64::NAN,
+        }
+    };
+    let spv = |gate: &str| -> f64 {
+        let pts: Vec<f64> = points
+            .iter()
+            .filter(|p| p.gate == gate && p.statements_per_version.is_finite())
+            .map(|p| p.statements_per_version)
+            .collect();
+        if pts.is_empty() {
+            f64::NAN
+        } else {
+            pts.iter().sum::<f64>() / pts.len() as f64
+        }
+    };
+    let legacy_scaling = scaling("legacy");
+    let striped_scaling = scaling("striped");
+    row(
+        "gate_summary",
+        &[
+            ("legacy_scaling", format!("{legacy_scaling:.2}")),
+            ("striped_scaling", format!("{striped_scaling:.2}")),
+            ("legacy_stmts_per_version", format!("{:.3}", spv("legacy"))),
+            (
+                "striped_stmts_per_version",
+                format!("{:.3}", spv("striped")),
+            ),
+        ],
+    );
+
+    // JSON report for the checked-in BENCH_gate.json.
+    let json_path =
+        std::env::var("DPR_GATE_JSON").unwrap_or_else(|_| "BENCH_gate.json".to_string());
+    let mut json = String::from("{\n  \"bench\": \"gate_scaling\",\n");
+    json.push_str(&format!(
+        "  \"config\": {{\"point_secs\": {:.2}, \"sql_us\": {}, \"batch_us\": {}, \"seal_every\": {}, \"window\": {}, \"dep_shards\": {}, \"host_cpus\": {}}},\n",
+        cfg.duration.as_secs_f64(),
+        cfg.sql_us,
+        cfg.batch_us,
+        cfg.seal_every,
+        cfg.window,
+        cfg.dep_shards,
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+    ));
+    json.push_str("  \"points\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"gate\": \"{}\", \"threads\": {}, \"batches_per_sec\": {:.0}, \"versions_reported\": {}, \"statements_per_version\": {:.3}}}{}\n",
+            p.gate,
+            p.threads,
+            p.batches_per_sec,
+            p.versions_reported,
+            p.statements_per_version,
+            if i + 1 == points.len() { "" } else { "," },
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"summary\": {{\"threads_lo\": {}, \"threads_hi\": {}, \"legacy_scaling\": {:.2}, \"striped_scaling\": {:.2}, \"legacy_statements_per_version\": {:.3}, \"striped_statements_per_version\": {:.3}}}\n}}\n",
+        threads.first().copied().unwrap_or(1),
+        threads.last().copied().unwrap_or(1),
+        legacy_scaling,
+        striped_scaling,
+        spv("legacy"),
+        spv("striped"),
+    ));
+    let mut f = std::fs::File::create(&json_path).expect("create json");
+    f.write_all(json.as_bytes()).expect("write json");
+    eprintln!("wrote {json_path}");
+}

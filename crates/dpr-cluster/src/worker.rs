@@ -185,14 +185,17 @@ impl Worker {
             self.server.record_batch(header, version);
         }
         if self.config.sync_commit {
-            // Synchronous recoverability: group-commit and wait (§7.6).
+            // Synchronous recoverability: group-commit and wait (§7.6),
+            // backing off spin → yield → short sleep so waiting batches do
+            // not burn a core while the checkpoint completes.
             let deadline = Instant::now() + Duration::from_secs(10);
+            let mut backoff = dpr_core::Backoff::new();
             while self.store.durable_version() < version {
                 self.store.request_commit(None);
-                if Instant::now() > deadline {
+                if backoff.is_waiting_long() && Instant::now() > deadline {
                     return Err(DprError::Timeout);
                 }
-                std::thread::yield_now();
+                backoff.snooze();
             }
         }
         Ok((self.server.make_reply(header, version), results))
@@ -263,12 +266,19 @@ impl Worker {
 }
 
 fn executor_loop(worker: &Weak<Worker>, inbox: &Receiver<Message>) {
+    let mut recv_count = 0u32;
     loop {
         let Some(w) = worker.upgrade() else { return };
         if w.shutdown.load(Ordering::Acquire) {
             return;
         }
-        crate::metrics::worker_inbox_depth().set(inbox.len() as i64);
+        // Sample the gauge every ~64 receives: a telemetry store on every
+        // message would ride the per-request hot path for a signal that only
+        // needs trend resolution.
+        if recv_count.is_multiple_of(64) {
+            crate::metrics::worker_inbox_depth().set(inbox.len() as i64);
+        }
+        recv_count = recv_count.wrapping_add(1);
         match inbox.recv_timeout(Duration::from_millis(20)) {
             Ok(Message::Request(req)) => handle_request(&w, req),
             Ok(Message::Response(_)) => { /* workers do not expect responses */ }

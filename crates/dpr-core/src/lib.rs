@@ -17,6 +17,7 @@
 
 #![deny(missing_docs)]
 
+pub mod backoff;
 pub mod clock;
 pub mod config;
 pub mod epoch;
@@ -24,6 +25,7 @@ pub mod error;
 pub mod kv;
 pub mod version;
 
+pub use backoff::Backoff;
 pub use clock::{Clock, SimClock, SystemClock};
 pub use config::{CheckpointMode, DprFinderMode, RecoverabilityLevel};
 pub use epoch::LightEpoch;

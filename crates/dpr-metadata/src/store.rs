@@ -4,6 +4,7 @@ use crate::recovery::RecoveryState;
 use dpr_core::{DprError, Result, ShardId, Token, Version, WorldLine};
 use parking_lot::Mutex;
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
 /// A DPR cut: one committed version per shard (Definition 3.1).
@@ -34,6 +35,19 @@ pub trait MetadataStore: Send + Sync {
     /// `UPDATE dpr SET persistedVersion = v WHERE id = shard`.
     fn update_persisted_version(&self, shard: ShardId, version: Version) -> Result<()>;
 
+    /// Group-committed form of [`MetadataStore::update_persisted_version`]:
+    /// apply every `(shard, version)` row in **one** statement (one simulated
+    /// round trip) instead of one per row — the §6/§3.4 metadata-write
+    /// bottleneck fix. Transactional: if any shard is unregistered, no row is
+    /// applied. The default implementation falls back to one statement per
+    /// row for stores without multi-row updates.
+    fn update_persisted_versions(&self, updates: &[(ShardId, Version)]) -> Result<()> {
+        for &(shard, version) in updates {
+            self.update_persisted_version(shard, version)?;
+        }
+        Ok(())
+    }
+
     /// `SELECT min(persistedVersion) FROM dpr` — `None` when the table is
     /// empty.
     fn min_persisted_version(&self) -> Result<Option<Version>>;
@@ -49,6 +63,16 @@ pub trait MetadataStore: Send + Sync {
 
     /// Persist a committed version and its dependency edges.
     fn add_graph_version(&self, token: Token, deps: Vec<Token>) -> Result<()>;
+
+    /// Group-committed form of [`MetadataStore::add_graph_version`]: insert
+    /// every vertex in one statement. The default implementation falls back
+    /// to one statement per vertex.
+    fn add_graph_versions(&self, entries: Vec<(Token, Vec<Token>)>) -> Result<()> {
+        for (token, deps) in entries {
+            self.add_graph_version(token, deps)?;
+        }
+        Ok(())
+    }
 
     /// Snapshot of the persisted precedence graph.
     fn graph_snapshot(&self) -> Result<Vec<(Token, Vec<Token>)>>;
@@ -102,6 +126,7 @@ struct Tables {
 pub struct SimulatedSqlStore {
     tables: Mutex<Tables>,
     latency: Duration,
+    statements: AtomicU64,
 }
 
 impl SimulatedSqlStore {
@@ -117,10 +142,22 @@ impl SimulatedSqlStore {
         SimulatedSqlStore {
             tables: Mutex::new(Tables::default()),
             latency,
+            statements: AtomicU64::new(0),
         }
     }
 
+    /// Total statements executed so far — the metadata write/read volume.
+    /// Batched operations ([`MetadataStore::update_persisted_versions`],
+    /// [`MetadataStore::add_graph_versions`]) count as **one** statement
+    /// regardless of row count, which is exactly the saving they exist to
+    /// provide.
+    #[must_use]
+    pub fn statement_count(&self) -> u64 {
+        self.statements.load(Ordering::Relaxed)
+    }
+
     fn charge(&self) {
+        self.statements.fetch_add(1, Ordering::Relaxed);
         crate::metrics::statements().inc();
         if !self.latency.is_zero() {
             let timer = crate::metrics::statement_latency().start_timer();
@@ -172,6 +209,25 @@ impl MetadataStore for SimulatedSqlStore {
         }
     }
 
+    fn update_persisted_versions(&self, updates: &[(ShardId, Version)]) -> Result<()> {
+        if updates.is_empty() {
+            return Ok(());
+        }
+        // One multi-row `UPDATE ... FROM (VALUES ...)`: a single round trip
+        // no matter how many rows ride in it.
+        self.charge();
+        let mut t = self.tables.lock();
+        if let Some(&(missing, _)) = updates.iter().find(|(s, _)| !t.dpr.contains_key(s)) {
+            // Transaction aborts: no row applied.
+            return Err(DprError::Metadata(format!("{missing} not registered")));
+        }
+        for &(shard, version) in updates {
+            let v = t.dpr.get_mut(&shard).expect("checked above");
+            *v = (*v).max(version);
+        }
+        Ok(())
+    }
+
     fn min_persisted_version(&self) -> Result<Option<Version>> {
         self.charge();
         Ok(self.tables.lock().dpr.values().min().copied())
@@ -191,6 +247,20 @@ impl MetadataStore for SimulatedSqlStore {
         self.charge();
         let mut t = self.tables.lock();
         t.graph.insert(token, deps);
+        crate::metrics::graph_rows().set(t.graph.len() as i64);
+        Ok(())
+    }
+
+    fn add_graph_versions(&self, entries: Vec<(Token, Vec<Token>)>) -> Result<()> {
+        if entries.is_empty() {
+            return Ok(());
+        }
+        // One multi-row INSERT.
+        self.charge();
+        let mut t = self.tables.lock();
+        for (token, deps) in entries {
+            t.graph.insert(token, deps);
+        }
         crate::metrics::graph_rows().set(t.graph.len() as i64);
         Ok(())
     }
@@ -306,6 +376,50 @@ mod tests {
     fn update_unregistered_worker_fails() {
         let s = SimulatedSqlStore::new();
         assert!(s.update_persisted_version(shard(9), Version(1)).is_err());
+    }
+
+    #[test]
+    fn batched_update_is_one_statement() {
+        let s = SimulatedSqlStore::new();
+        s.register_worker(shard(0)).unwrap();
+        s.register_worker(shard(1)).unwrap();
+        let before = s.statement_count();
+        s.update_persisted_versions(&[(shard(0), Version(4)), (shard(1), Version(7))])
+            .unwrap();
+        assert_eq!(s.statement_count() - before, 1, "one round trip for 2 rows");
+        assert_eq!(s.max_persisted_version().unwrap(), Some(Version(7)));
+        assert_eq!(s.min_persisted_version().unwrap(), Some(Version(4)));
+        // Still monotone per row.
+        s.update_persisted_versions(&[(shard(1), Version(2))])
+            .unwrap();
+        assert_eq!(s.max_persisted_version().unwrap(), Some(Version(7)));
+    }
+
+    #[test]
+    fn batched_update_aborts_atomically_on_unregistered_shard() {
+        let s = SimulatedSqlStore::new();
+        s.register_worker(shard(0)).unwrap();
+        assert!(s
+            .update_persisted_versions(&[(shard(0), Version(4)), (shard(9), Version(1))])
+            .is_err());
+        // The whole transaction rolled back: shard 0 untouched.
+        assert_eq!(s.min_persisted_version().unwrap(), Some(Version::ZERO));
+    }
+
+    #[test]
+    fn batched_graph_insert_is_one_statement() {
+        let s = SimulatedSqlStore::new();
+        let t = |sh: u32, v: u64| Token::new(shard(sh), Version(v));
+        let before = s.statement_count();
+        s.add_graph_versions(vec![(t(0, 1), vec![]), (t(1, 1), vec![t(0, 1)])])
+            .unwrap();
+        assert_eq!(s.statement_count() - before, 1);
+        assert_eq!(s.graph_snapshot().unwrap().len(), 2);
+        // Empty batches are free.
+        let before = s.statement_count();
+        s.add_graph_versions(Vec::new()).unwrap();
+        s.update_persisted_versions(&[]).unwrap();
+        assert_eq!(s.statement_count(), before);
     }
 
     #[test]

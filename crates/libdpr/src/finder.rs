@@ -14,7 +14,7 @@
 //!   crash, the cut keeps advancing at approximate precision until it passes
 //!   the lost subgraph, then exact precision resumes.
 
-use dpr_core::{Result, Token, Version};
+use dpr_core::{Result, ShardId, Token, Version};
 use dpr_metadata::{Cut, MetadataStore};
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
@@ -54,6 +54,20 @@ pub trait DprFinder: Send + Sync {
     /// Report a locally committed version and its cross-shard dependencies.
     fn report_commit(&self, token: Token, deps: Vec<Token>) -> Result<()>;
 
+    /// Report a *group* of locally committed versions in one shot.
+    ///
+    /// This is the batched-metadata half of the scalable gate (§6): when the
+    /// server drain has several sealed versions queued, reporting them
+    /// together costs O(1) metadata round trips instead of one per version.
+    /// The default implementation falls back to per-commit reporting for
+    /// finders without a batched path.
+    fn report_commits(&self, reports: Vec<(Token, Vec<Token>)>) -> Result<()> {
+        for (token, deps) in reports {
+            self.report_commit(token, deps)?;
+        }
+        Ok(())
+    }
+
     /// Recompute and persist the DPR cut (the coordinator pass). A no-op
     /// while cluster recovery has progress halted.
     fn refresh(&self) -> Result<()>;
@@ -64,6 +78,19 @@ pub trait DprFinder: Send + Sync {
     /// The largest committed version in the cluster (`Vmax`), used to
     /// fast-forward lagging shards (§3.4).
     fn max_version(&self) -> Result<Version>;
+}
+
+/// Collapse a group of commit reports to one DPR-table row per shard (the
+/// max committed version), the payload of the single batched
+/// `update_persisted_versions` statement. Per-shard max is lossless here
+/// because persisted versions are monotone.
+fn max_versions_per_shard(reports: &[(Token, Vec<Token>)]) -> Vec<(ShardId, Version)> {
+    let mut rows: BTreeMap<ShardId, Version> = BTreeMap::new();
+    for (token, _) in reports {
+        let e = rows.entry(token.shard).or_insert(Version::ZERO);
+        *e = (*e).max(token.version);
+    }
+    rows.into_iter().collect()
 }
 
 /// Compute the maximal dependency-closed cut from a precedence graph.
@@ -148,6 +175,17 @@ impl DprFinder for ExactFinder {
         self.meta.add_graph_version(token, deps)
     }
 
+    fn report_commits(&self, reports: Vec<(Token, Vec<Token>)>) -> Result<()> {
+        if reports.is_empty() {
+            return Ok(());
+        }
+        crate::metrics::graph_dep_tokens().add(reports.iter().map(|(_, d)| d.len() as u64).sum());
+        // One DPR-table statement (max version per shard) + one graph insert.
+        self.meta
+            .update_persisted_versions(&max_versions_per_shard(&reports))?;
+        self.meta.add_graph_versions(reports)
+    }
+
     fn refresh(&self) -> Result<()> {
         let _timer = crate::metrics::finder_refresh().start_timer();
         observe_cut_lag(&*self.meta);
@@ -221,6 +259,14 @@ impl DprFinder for ApproximateFinder {
             .update_persisted_version(token.shard, token.version)
     }
 
+    fn report_commits(&self, reports: Vec<(Token, Vec<Token>)>) -> Result<()> {
+        if reports.is_empty() {
+            return Ok(());
+        }
+        self.meta
+            .update_persisted_versions(&max_versions_per_shard(&reports))
+    }
+
     fn refresh(&self) -> Result<()> {
         let _timer = crate::metrics::finder_refresh().start_timer();
         observe_cut_lag(&*self.meta);
@@ -289,6 +335,18 @@ impl DprFinder for HybridFinder {
         Ok(())
     }
 
+    fn report_commits(&self, reports: Vec<(Token, Vec<Token>)>) -> Result<()> {
+        if reports.is_empty() {
+            return Ok(());
+        }
+        crate::metrics::graph_dep_tokens().add(reports.iter().map(|(_, d)| d.len() as u64).sum());
+        // One durable statement for the whole group; the graph is in-memory.
+        self.meta
+            .update_persisted_versions(&max_versions_per_shard(&reports))?;
+        self.graph.lock().extend(reports);
+        Ok(())
+    }
+
     fn refresh(&self) -> Result<()> {
         let _timer = crate::metrics::finder_refresh().start_timer();
         observe_cut_lag(&*self.meta);
@@ -299,16 +357,17 @@ impl DprFinder for HybridFinder {
             let e = floor.entry(s).or_insert(Version::ZERO);
             *e = (*e).max(v);
         }
-        // ...then exact refinement from whatever graph is in memory,
-        // holding back shards whose lost subgraph the floor has not yet
-        // cleared.
-        let cut = {
-            let ceiling = self.lost_ceiling.lock().clone();
-            let mut graph = self.graph.lock();
-            let cut = compute_closure_cut_capped(&graph, &floor, &ceiling);
-            graph.retain(|t, _| cut.get(&t.shard).copied().unwrap_or(Version::ZERO) < t.version);
-            cut
-        };
+        // ...then exact refinement from whatever graph is in memory, holding
+        // back shards whose lost subgraph the floor has not yet cleared.
+        // The closure fixpoint runs on a *snapshot* so commit reporting (the
+        // per-batch hot path) is never blocked behind it; only the final
+        // retain — O(graph) with no fixpoint — holds the lock.
+        let ceiling = self.lost_ceiling.lock().clone();
+        let snapshot = self.graph.lock().clone();
+        let cut = compute_closure_cut_capped(&snapshot, &floor, &ceiling);
+        self.graph
+            .lock()
+            .retain(|t, _| cut.get(&t.shard).copied().unwrap_or(Version::ZERO) < t.version);
         match self.meta.update_cut_atomically(cut) {
             Ok(()) | Err(dpr_core::DprError::Recovering) => Ok(()),
             Err(e) => Err(e),
@@ -482,6 +541,59 @@ mod tests {
         let cut = finder.current_cut().unwrap();
         assert_eq!(cut[&ShardId(0)], Version(5), "exact precision preserved");
         assert_eq!(cut[&ShardId(1)], Version(1));
+    }
+
+    #[test]
+    fn grouped_reports_match_sequential_reports_for_every_finder() {
+        // The batched path must produce the same cut the per-commit path
+        // would; Exact/Hybrid keep dependency precision, Approximate keeps
+        // Vmin semantics.
+        let reports = vec![
+            (t(0, 1), vec![]),
+            (t(1, 1), vec![t(0, 1)]),
+            (t(0, 2), vec![t(1, 1)]),
+        ];
+        type MakeFinder = fn(Arc<SimulatedSqlStore>) -> Box<dyn DprFinder>;
+        // (constructor, expected shard-0 cut: Approximate stays at Vmin=1,
+        // the graph-bearing finders reach the exact 2).
+        let make: [(MakeFinder, Version); 3] = [
+            (|m| Box::new(ExactFinder::new(m)), Version(2)),
+            (|m| Box::new(ApproximateFinder::new(m)), Version(1)),
+            (|m| Box::new(HybridFinder::new(m)), Version(2)),
+        ];
+        for (mk, expected) in make {
+            let (meta_seq, _) = setup(2);
+            let seq = mk(meta_seq);
+            for (tok, deps) in reports.clone() {
+                seq.report_commit(tok, deps).unwrap();
+            }
+            seq.refresh().unwrap();
+
+            let (meta_grp, _) = setup(2);
+            let grp = mk(meta_grp.clone());
+            let before = meta_grp.statement_count();
+            grp.report_commits(reports.clone()).unwrap();
+            assert!(
+                meta_grp.statement_count() - before <= 2,
+                "a grouped report is O(1) statements, not one per commit"
+            );
+            grp.refresh().unwrap();
+
+            assert_eq!(seq.current_cut().unwrap(), grp.current_cut().unwrap());
+            assert_eq!(grp.current_cut().unwrap()[&ShardId(0)], expected);
+        }
+    }
+
+    #[test]
+    fn grouped_report_held_back_like_sequential_when_dep_missing() {
+        let (meta, _) = setup(2);
+        let finder = ExactFinder::new(meta);
+        // v2 depends on shard 1's v1, which never arrives in this group.
+        finder
+            .report_commits(vec![(t(0, 1), vec![]), (t(0, 2), vec![t(1, 1)])])
+            .unwrap();
+        finder.refresh().unwrap();
+        assert_eq!(finder.current_cut().unwrap()[&ShardId(0)], Version(1));
     }
 
     #[test]

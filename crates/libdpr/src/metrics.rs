@@ -28,9 +28,19 @@ metric_fn!(
 
 metric_fn!(
     /// Batch execution to commit report — how far commit trails completion (§1, §6).
+    /// Measured lock-free per drain window: first batch recorded since the
+    /// last drain → the drain that reports the sealed versions.
     pub(crate) fn commit_latency() -> Histogram =
         ("dpr_server_commit_latency_us", Micros,
-         "Time from a version's first executed batch to its commit report to the finder")
+         "Time from the first executed batch of a drain window to its commit report to the finder")
+);
+
+metric_fn!(
+    /// Dependency-stripe overflow: distinct dependent shards exceeded a
+    /// stripe's lock-free slots and spilled to its locked side map (§6).
+    pub(crate) fn gate_dep_spills() -> Counter =
+        ("dpr_server_gate_dep_spills_total", Count,
+         "Dependencies routed to a stripe's locked overflow map because all lock-free slots were taken")
 );
 
 metric_fn!(

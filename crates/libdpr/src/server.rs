@@ -6,15 +6,53 @@
 //! §3.2 progress rule); the *after* hook ([`DprServer::record_batch`] +
 //! [`DprServer::make_reply`]) accumulates dependency edges for the version
 //! the batch executed in and builds the reply header.
+//!
+//! ## Scalability (§6: "implemented scalably")
+//!
+//! Both hooks run on **every** batch, so their cross-thread footprint caps
+//! cluster throughput. Dependency accumulation is therefore striped and
+//! lock-free on the write side:
+//!
+//! * [`DprServer::record_batch`] publishes into one of N cache-padded
+//!   *stripes*, selected by a per-thread index, using only atomic
+//!   compare-and-swap / `fetch_max` — no locks, no allocation.
+//! * Each stripe keeps only the **max version per dependent shard**.
+//!   Prefix semantics make this lossless for safety: a cut that admits a
+//!   token `(s, v)` admits every `(s, v' ≤ v)`, so the largest dependency
+//!   per shard subsumes all smaller ones (and the whole accumulator stays a
+//!   few cache lines regardless of batch volume).
+//! * The drain side ([`DprServer::pump_commits`], [`DprServer::on_restore`])
+//!   is guarded by a [`LightEpoch`]: the drainer bumps the epoch and waits
+//!   for in-flight writers to pass, so writers never block on the drain
+//!   (they only ever touch their own stripe's atomics).
+//! * A drain attaches the merged dependency set to the **lowest** version
+//!   being reported. This is conservative but safe: if the cut admits any
+//!   higher version of this shard it also admits the lowest one, so the
+//!   merged dependencies are always enforced.
+//!
+//! Queued commit reports leave the drain as **one** grouped
+//! [`DprFinder::report_commits`] call — O(1) metadata round trips per pump
+//! instead of one per version (the §3.4 metadata-write bottleneck).
 
 use crate::finder::DprFinder;
 use crate::header::{BatchHeader, BatchReply};
 use crate::state_object::StateObject;
-use dpr_core::{DprError, Result, ShardId, Token, Version, WorldLine};
+use dpr_core::{Backoff, DprError, LightEpoch, Result, ShardId, Token, Version, WorldLine};
 use parking_lot::Mutex;
-use std::collections::{BTreeMap, BTreeSet};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
+
+/// Dependency slots per stripe (open-addressed; distinct dependent shards
+/// beyond this spill to the stripe's locked side map).
+const STRIPE_SLOTS: usize = 32;
+
+/// Default stripe count (power of two). Executor threads map onto stripes by
+/// a per-thread index, so this bounds hot-path sharing, not correctness.
+const DEFAULT_STRIPES: usize = 16;
+
+/// Epoch-table capacity: max threads concurrently inside `record_batch`.
+const MAX_GATE_THREADS: usize = 256;
 
 /// What to do with an incoming batch.
 #[derive(Debug)]
@@ -28,27 +66,167 @@ pub enum BatchDisposition {
     Reject(DprError),
 }
 
+/// Process-wide executor numbering: each thread that ever records a batch
+/// gets a stable small id, used both for stripe selection and as the epoch
+/// slot hint so a thread's gate traffic stays on its own cache lines.
+static NEXT_GATE_THREAD: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    static GATE_THREAD_ID: usize = NEXT_GATE_THREAD.fetch_add(1, Ordering::Relaxed);
+}
+
+fn gate_thread_id() -> usize {
+    GATE_THREAD_ID.with(|id| *id)
+}
+
+/// One cache-padded dependency accumulator.
+///
+/// `keys[i]` is `0` (empty) or `shard.0 + 1`; once claimed, a key is never
+/// removed, so `vers[i]` is owned by exactly one dependent shard for the
+/// stripe's lifetime and plain `fetch_max` / `swap` suffice — a dependency
+/// published concurrently with a drain lands either in this drain or the
+/// next, never nowhere.
+#[repr(align(128))]
+struct Stripe {
+    keys: [AtomicU64; STRIPE_SLOTS],
+    vers: [AtomicU64; STRIPE_SLOTS],
+    /// Rare path: more distinct dependent shards than slots.
+    overflow: Mutex<BTreeMap<ShardId, Version>>,
+    /// Telemetry only: micros-since-server-start (+1; 0 = unset) of the
+    /// first batch recorded since the last drain, for commit latency.
+    first_exec_us: AtomicU64,
+}
+
+impl Stripe {
+    fn new() -> Stripe {
+        Stripe {
+            keys: std::array::from_fn(|_| AtomicU64::new(0)),
+            vers: std::array::from_fn(|_| AtomicU64::new(0)),
+            overflow: Mutex::new(BTreeMap::new()),
+            first_exec_us: AtomicU64::new(0),
+        }
+    }
+
+    /// Lock-free max-merge of one dependency into this stripe.
+    fn note_dep(&self, shard: ShardId, version: Version) {
+        let key = u64::from(shard.0) + 1;
+        // Cheap multiplicative hash so consecutive shard ids spread out.
+        let mut idx = (shard.0 as usize).wrapping_mul(0x9E37_79B1) & (STRIPE_SLOTS - 1);
+        for _ in 0..STRIPE_SLOTS {
+            match self.keys[idx].load(Ordering::Acquire) {
+                k if k == key => {
+                    self.vers[idx].fetch_max(version.0, Ordering::AcqRel);
+                    return;
+                }
+                0 => {
+                    match self.keys[idx].compare_exchange(
+                        0,
+                        key,
+                        Ordering::AcqRel,
+                        Ordering::Acquire,
+                    ) {
+                        Ok(_) => {
+                            self.vers[idx].fetch_max(version.0, Ordering::AcqRel);
+                            return;
+                        }
+                        Err(actual) if actual == key => {
+                            // Another thread registered the same shard first.
+                            self.vers[idx].fetch_max(version.0, Ordering::AcqRel);
+                            return;
+                        }
+                        Err(_) => { /* claimed for a different shard — probe on */ }
+                    }
+                }
+                _ => {}
+            }
+            idx = (idx + 1) & (STRIPE_SLOTS - 1);
+        }
+        // Every slot owned by some other shard: spill (bounded lock, rare).
+        crate::metrics::gate_dep_spills().inc();
+        let mut of = self.overflow.lock();
+        let e = of.entry(shard).or_insert(Version::ZERO);
+        *e = (*e).max(version);
+    }
+
+    /// Take (and reset) this stripe's accumulated max-per-shard deps into
+    /// `merged`. Caller must have quiesced in-flight writers via the epoch.
+    fn drain_into(&self, merged: &mut BTreeMap<ShardId, Version>) {
+        for i in 0..STRIPE_SLOTS {
+            let k = self.keys[i].load(Ordering::Acquire);
+            if k == 0 {
+                continue;
+            }
+            let v = self.vers[i].swap(0, Ordering::AcqRel);
+            if v > 0 {
+                let shard = ShardId((k - 1) as u32);
+                let e = merged.entry(shard).or_insert(Version::ZERO);
+                *e = (*e).max(Version(v));
+            }
+        }
+        let spilled = std::mem::take(&mut *self.overflow.lock());
+        for (shard, v) in spilled {
+            let e = merged.entry(shard).or_insert(Version::ZERO);
+            *e = (*e).max(v);
+        }
+    }
+
+    /// Non-destructive read of the accumulated deps (tests/diagnostics).
+    fn peek_into(&self, merged: &mut BTreeMap<ShardId, Version>) {
+        for i in 0..STRIPE_SLOTS {
+            let k = self.keys[i].load(Ordering::Acquire);
+            if k == 0 {
+                continue;
+            }
+            let v = self.vers[i].load(Ordering::Acquire);
+            if v > 0 {
+                let shard = ShardId((k - 1) as u32);
+                let e = merged.entry(shard).or_insert(Version::ZERO);
+                *e = (*e).max(Version(v));
+            }
+        }
+        for (&shard, &v) in self.overflow.lock().iter() {
+            let e = merged.entry(shard).or_insert(Version::ZERO);
+            *e = (*e).max(v);
+        }
+    }
+}
+
 /// Per-shard server-side DPR state.
 pub struct DprServer {
     shard: ShardId,
     world_line: AtomicU64,
-    /// Dependency tokens accumulated per (open) version.
-    deps: Mutex<BTreeMap<Version, BTreeSet<Token>>>,
-    /// Telemetry only: when each open version first executed a batch, so
-    /// `pump_commits` can measure execute-to-commit-report latency.
-    /// Populated only while `dpr_telemetry::enabled()`.
-    first_executed: Mutex<BTreeMap<Version, Instant>>,
+    /// Striped lock-free dependency accumulator (max version per dependent
+    /// shard, per stripe).
+    stripes: Box<[Stripe]>,
+    /// Protects the drain: writers publish under an epoch guard; drains
+    /// bump-and-wait so they observe no mid-flight writer.
+    epoch: LightEpoch,
+    /// Serializes drains against each other (pump vs. restore) — never
+    /// touched by `record_batch`.
+    drain: Mutex<()>,
+    /// Timestamp base for the lock-free commit-latency tracking.
+    started: Instant,
 }
 
 impl DprServer {
     /// Server state for `shard`, starting on the initial world-line.
     #[must_use]
     pub fn new(shard: ShardId) -> Self {
+        Self::with_stripes(shard, DEFAULT_STRIPES)
+    }
+
+    /// Server state with an explicit stripe count (rounded up to a power of
+    /// two; benchmarks and tests).
+    #[must_use]
+    pub fn with_stripes(shard: ShardId, stripes: usize) -> Self {
+        let n = stripes.max(1).next_power_of_two();
         DprServer {
             shard,
             world_line: AtomicU64::new(WorldLine::INITIAL.0),
-            deps: Mutex::new(BTreeMap::new()),
-            first_executed: Mutex::new(BTreeMap::new()),
+            stripes: (0..n).map(|_| Stripe::new()).collect(),
+            epoch: LightEpoch::new(MAX_GATE_THREADS),
+            drain: Mutex::new(()),
+            started: Instant::now(),
         }
     }
 
@@ -56,6 +234,12 @@ impl DprServer {
     #[must_use]
     pub fn shard(&self) -> ShardId {
         self.shard
+    }
+
+    /// Number of dependency stripes.
+    #[must_use]
+    pub fn stripe_count(&self) -> usize {
+        self.stripes.len()
     }
 
     /// The world-line this shard is on.
@@ -98,7 +282,9 @@ impl DprServer {
     }
 
     /// Convenience for in-process deployments: validate, waiting out any
-    /// `Delay` by ticking the store's commit machinery.
+    /// `Delay` by ticking the store's commit machinery. The wait escalates
+    /// spin → yield → short sleep ([`Backoff`]) so a delayed batch does not
+    /// burn a core while the fast-forward commit completes.
     pub fn validate_blocking(
         &self,
         header: &BatchHeader,
@@ -106,6 +292,7 @@ impl DprServer {
         timeout: Duration,
     ) -> Result<()> {
         let start = Instant::now();
+        let mut backoff = Backoff::new();
         loop {
             match self.validate(header, so) {
                 BatchDisposition::Execute => return Ok(()),
@@ -114,7 +301,7 @@ impl DprServer {
                     if start.elapsed() > timeout {
                         return Err(DprError::Timeout);
                     }
-                    std::thread::yield_now();
+                    backoff.snooze();
                 }
             }
         }
@@ -122,21 +309,27 @@ impl DprServer {
 
     /// The *after* hook: record the batch's dependency edges against the
     /// version it executed in.
+    ///
+    /// Lock-free: an epoch guard plus a handful of atomic max-merges into
+    /// this thread's stripe. `executed_version` no longer keys the storage —
+    /// prefix compression (see the module docs) attaches dependencies to the
+    /// lowest version of the next drain, which is always at or below the
+    /// executing version.
     pub fn record_batch(&self, header: &BatchHeader, executed_version: Version) {
-        if dpr_telemetry::enabled() {
-            self.first_executed
-                .lock()
-                .entry(executed_version)
-                .or_insert_with(Instant::now);
+        let tid = gate_thread_id();
+        let _guard = self.epoch.protect_hinted(tid);
+        let stripe = &self.stripes[tid & (self.stripes.len() - 1)];
+        if dpr_telemetry::enabled() && stripe.first_exec_us.load(Ordering::Relaxed) == 0 {
+            let now = self.started.elapsed().as_micros() as u64 + 1;
+            let _ =
+                stripe
+                    .first_exec_us
+                    .compare_exchange(0, now, Ordering::AcqRel, Ordering::Relaxed);
         }
-        if header.deps.is_empty() {
-            return;
-        }
-        let mut deps = self.deps.lock();
-        let set = deps.entry(executed_version).or_default();
+        let _ = executed_version;
         for d in &header.deps {
             if d.shard != self.shard && d.version > Version::ZERO {
-                set.insert(*d);
+                stripe.note_dep(d.shard, d.version);
             }
         }
     }
@@ -153,50 +346,95 @@ impl DprServer {
         }
     }
 
+    /// Quiesce in-flight writers, then take everything the stripes have
+    /// accumulated: the merged max-per-shard dependency tokens and the
+    /// earliest first-execution timestamp (telemetry), resetting both.
+    fn quiesce_and_drain(&self) -> (Vec<Token>, Option<u64>) {
+        // Writers protected at the pre-bump epoch may still be publishing
+        // into stripes; wait them out. New writers (post-bump) may land
+        // concurrently — their deps go to this drain or the next, either is
+        // safe. The drainer waits on writers; writers never wait on it.
+        self.epoch.quiesce();
+        let mut merged: BTreeMap<ShardId, Version> = BTreeMap::new();
+        let mut earliest: Option<u64> = None;
+        for stripe in self.stripes.iter() {
+            stripe.drain_into(&mut merged);
+            let t = stripe.first_exec_us.swap(0, Ordering::AcqRel);
+            if t > 0 {
+                earliest = Some(earliest.map_or(t, |e| e.min(t)));
+            }
+        }
+        let tokens = merged.into_iter().map(|(s, v)| Token::new(s, v)).collect();
+        (tokens, earliest)
+    }
+
     /// Drain completed local commits to the finder, attaching accumulated
     /// dependencies. Call periodically (background thread). Returns the
     /// versions reported.
+    ///
+    /// All queued commits leave as **one** [`DprFinder::report_commits`]
+    /// group; the merged dependency set rides on the lowest version (safe —
+    /// prefix cuts admitting any reported version admit the lowest, so the
+    /// dependencies stay enforced).
     pub fn pump_commits(
         &self,
         so: &dyn StateObject,
         finder: &dyn DprFinder,
     ) -> Result<Vec<Version>> {
-        let commits = so.take_commits();
+        let mut commits = so.take_commits();
         if commits.is_empty() {
             return Ok(Vec::new());
         }
-        let mut reported = Vec::with_capacity(commits.len());
-        for desc in commits {
-            // Everything accumulated at or below this version belongs to it
-            // (versions are sealed in order).
-            let dep_tokens: Vec<Token> = {
-                let mut deps = self.deps.lock();
-                let mut below = deps.split_off(&desc.version.next());
-                std::mem::swap(&mut below, &mut deps);
-                below.into_values().flatten().collect()
-            };
-            finder.report_commit(Token::new(self.shard, desc.version), dep_tokens)?;
-            crate::metrics::commit_reports().inc();
-            if dpr_telemetry::enabled() {
-                // Every version sealed by this report has now reached its
-                // commit point: record how long it trailed execution.
-                let mut stamps = self.first_executed.lock();
-                let mut sealed = stamps.split_off(&desc.version.next());
-                std::mem::swap(&mut sealed, &mut stamps);
-                for started in sealed.into_values() {
-                    crate::metrics::commit_latency().record_micros(started.elapsed());
+        let _drain = self.drain.lock();
+        commits.sort_by_key(|d| d.version);
+        let (dep_tokens, first_exec_us) = self.quiesce_and_drain();
+        let mut dep_tokens = Some(dep_tokens);
+        let reports: Vec<(Token, Vec<Token>)> = commits
+            .iter()
+            .map(|desc| {
+                let deps = dep_tokens.take().unwrap_or_default();
+                (Token::new(self.shard, desc.version), deps)
+            })
+            .collect();
+        finder.report_commits(reports)?;
+        crate::metrics::commit_reports().add(commits.len() as u64);
+        if dpr_telemetry::enabled() {
+            if let Some(us) = first_exec_us {
+                // Every version sealed by this drain has reached its commit
+                // point: record how long it trailed its first execution.
+                let elapsed = (self.started.elapsed().as_micros() as u64 + 1).saturating_sub(us);
+                for _ in &commits {
+                    crate::metrics::commit_latency().record(elapsed);
                 }
             }
-            reported.push(desc.version);
         }
-        Ok(reported)
+        Ok(commits.into_iter().map(|d| d.version).collect())
     }
 
-    /// Discard dependency state for versions rolled back by a restore.
+    /// Discard accumulated dependency state after a restore.
+    ///
+    /// Everything still pending belongs to versions above the guaranteed cut
+    /// (versions at or below it were reported — and their dependencies
+    /// drained — before the cut could include them), so the whole
+    /// accumulator is dropped. `v_safe` is kept for interface clarity and
+    /// debug assertions at call sites.
     pub fn on_restore(&self, v_safe: Version) {
-        let mut deps = self.deps.lock();
-        deps.split_off(&v_safe.next());
-        self.first_executed.lock().split_off(&v_safe.next());
+        let _ = v_safe;
+        let _drain = self.drain.lock();
+        let (dropped, _) = self.quiesce_and_drain();
+        drop(dropped);
+    }
+
+    /// Snapshot of the accumulated (max-per-shard compressed) dependency
+    /// tokens awaiting the next drain — diagnostics and tests; does not
+    /// drain.
+    #[must_use]
+    pub fn pending_deps(&self) -> Vec<Token> {
+        let mut merged: BTreeMap<ShardId, Version> = BTreeMap::new();
+        for stripe in self.stripes.iter() {
+            stripe.peek_into(&mut merged);
+        }
+        merged.into_iter().map(|(s, v)| Token::new(s, v)).collect()
     }
 }
 
@@ -264,6 +502,28 @@ mod tests {
             self.durable.store(version.0, Ordering::SeqCst);
             self.current.store(version.0 + 1, Ordering::SeqCst);
             Ok(())
+        }
+    }
+
+    /// Finder that records every report it receives.
+    #[derive(Default)]
+    struct CapturingFinder {
+        reports: Mutex<Vec<(Token, Vec<Token>)>>,
+    }
+
+    impl DprFinder for CapturingFinder {
+        fn report_commit(&self, token: Token, deps: Vec<Token>) -> Result<()> {
+            self.reports.lock().push((token, deps));
+            Ok(())
+        }
+        fn refresh(&self) -> Result<()> {
+            Ok(())
+        }
+        fn current_cut(&self) -> Result<dpr_metadata::Cut> {
+            Ok(dpr_metadata::Cut::new())
+        }
+        fn max_version(&self) -> Result<Version> {
+            Ok(Version::ZERO)
         }
     }
 
@@ -344,7 +604,7 @@ mod tests {
         assert_eq!(reported, vec![Version(1)]);
         assert_eq!(meta.persisted_versions().unwrap()[&ShardId(0)], Version(1));
         // Deps for version 1 were drained.
-        assert!(server.deps.lock().is_empty());
+        assert!(server.pending_deps().is_empty());
     }
 
     #[test]
@@ -362,14 +622,75 @@ mod tests {
             ),
             Version(1),
         );
-        let deps = server.deps.lock();
-        let set = &deps[&Version(1)];
-        assert_eq!(set.len(), 1);
-        assert!(set.contains(&Token::new(ShardId(2), Version(1))));
+        let pending = server.pending_deps();
+        assert_eq!(pending, vec![Token::new(ShardId(2), Version(1))]);
     }
 
     #[test]
-    fn restore_drops_dependency_state_above_safe_point() {
+    fn deps_compress_to_max_version_per_shard() {
+        let server = DprServer::new(ShardId(0));
+        for v in [3u64, 7, 5] {
+            server.record_batch(
+                &header(0, 0, vec![Token::new(ShardId(1), Version(v))]),
+                Version(1),
+            );
+        }
+        server.record_batch(
+            &header(0, 0, vec![Token::new(ShardId(2), Version(4))]),
+            Version(2),
+        );
+        let pending = server.pending_deps();
+        assert_eq!(
+            pending,
+            vec![
+                Token::new(ShardId(1), Version(7)),
+                Token::new(ShardId(2), Version(4)),
+            ],
+            "only the max per dependent shard is kept"
+        );
+    }
+
+    #[test]
+    fn grouped_pump_attaches_deps_to_lowest_version() {
+        let server = DprServer::new(ShardId(0));
+        let so = MockSo::new(0);
+        let finder = CapturingFinder::default();
+        server.record_batch(
+            &header(0, 0, vec![Token::new(ShardId(1), Version(2))]),
+            Version(1),
+        );
+        so.complete_commit();
+        so.complete_commit();
+        let reported = server.pump_commits(&so, &finder).unwrap();
+        assert_eq!(reported, vec![Version(1), Version(2)]);
+        let reports = finder.reports.lock();
+        assert_eq!(reports.len(), 2);
+        assert_eq!(reports[0].0, Token::new(ShardId(0), Version(1)));
+        assert_eq!(reports[0].1, vec![Token::new(ShardId(1), Version(2))]);
+        assert_eq!(reports[1].0, Token::new(ShardId(0), Version(2)));
+        assert!(reports[1].1.is_empty(), "merged deps ride the lowest token");
+    }
+
+    #[test]
+    fn more_dependent_shards_than_slots_spill_losslessly() {
+        // A single stripe forces every dep through one slot array.
+        let server = DprServer::with_stripes(ShardId(0), 1);
+        let n = (STRIPE_SLOTS * 2) as u32;
+        for s in 1..=n {
+            server.record_batch(
+                &header(0, 0, vec![Token::new(ShardId(s), Version(u64::from(s)))]),
+                Version(1),
+            );
+        }
+        let pending = server.pending_deps();
+        assert_eq!(pending.len(), n as usize, "no dependency dropped on spill");
+        for t in pending {
+            assert_eq!(t.version.0, u64::from(t.shard.0));
+        }
+    }
+
+    #[test]
+    fn restore_discards_pending_dependency_state() {
         let server = DprServer::new(ShardId(0));
         for v in 1..=5u64 {
             server.record_batch(
@@ -378,9 +699,18 @@ mod tests {
             );
         }
         server.on_restore(Version(2));
-        let deps = server.deps.lock();
-        assert!(deps.contains_key(&Version(1)));
-        assert!(deps.contains_key(&Version(2)));
-        assert!(!deps.contains_key(&Version(3)));
+        // Anything pending belonged to versions above the guaranteed cut
+        // (committed versions drained at report time), so the accumulator
+        // empties entirely.
+        assert!(server.pending_deps().is_empty());
+        // The gate keeps working after the restore.
+        server.record_batch(
+            &header(0, 0, vec![Token::new(ShardId(1), Version(9))]),
+            Version(3),
+        );
+        assert_eq!(
+            server.pending_deps(),
+            vec![Token::new(ShardId(1), Version(9))]
+        );
     }
 }

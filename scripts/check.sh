@@ -23,6 +23,17 @@ step cargo test -q
 # The full workspace: every crate's suites.
 step cargo test --workspace -q
 
+# Gate-scaling smoke: a ~1 s run of the §6 gate microbench (2 threads,
+# short points) proving both gate implementations still drive a full
+# record → seal → pump → finder pipeline. The checked-in BENCH_gate.json
+# is regenerated only by a full default-length run; the smoke writes to
+# the target directory instead.
+echo
+echo "==> gate_scaling smoke (2 threads, short points)"
+DPR_BENCH_SECS=0.25 DPR_GATE_THREADS=1,2 \
+    DPR_GATE_JSON=target/BENCH_gate.smoke.json \
+    cargo run --release -q -p dpr-bench --bin gate_scaling
+
 echo
 echo "==> cargo doc --no-deps --workspace (warnings denied)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
