@@ -52,6 +52,7 @@ fn build_worker(
             executors: 1,
             validate_ownership: false,
             fast_forward,
+            dedupe_window: 0,
         },
     )
     .expect("start worker")

@@ -1,0 +1,138 @@
+//! Chaos campaign — deterministic fault injection with the online DPR
+//! invariant checker (ISSUE: chaos harness; protocol §3/§4 invariants).
+//!
+//! Runs one or more rounds of [`dpr_chaos::run`]: a live D-FASTER cluster
+//! under YCSB load while a seed-derived schedule injects worker crashes,
+//! partitioned / slow / lossy links, checkpoint stalls, and membership
+//! churn with key migration. Every round must finish with **zero**
+//! invariant violations; the process exits nonzero otherwise.
+//!
+//! Flags (each with an env fallback):
+//!
+//! | flag         | env                | default           |
+//! |--------------|--------------------|-------------------|
+//! | `--seed N`   | `DPR_CHAOS_SEED`   | 0xD15EA5E         |
+//! | `--secs S`   | `DPR_CHAOS_SECS`   | 4                 |
+//! | `--events N` | `DPR_CHAOS_EVENTS` | 8                 |
+//! | `--shards N` | `DPR_CHAOS_SHARDS` | 3                 |
+//! | `--clients N`| `DPR_CHAOS_CLIENTS`| 2                 |
+//! | `--rounds N` | `DPR_CHAOS_ROUNDS` | 3                 |
+//! | `--out PATH` | `DPR_CHAOS_JSON`   | `BENCH_chaos.json`|
+//!
+//! Round `i` uses seed `seed + i`, so a campaign covers several distinct
+//! schedules while staying fully reproducible.
+
+use dpr_chaos::{ChaosConfig, ChaosReport};
+use std::time::Duration;
+
+fn arg_or_env(args: &[String], flag: &str, env: &str) -> Option<String> {
+    if let Some(pos) = args.iter().position(|a| a == flag) {
+        return args.get(pos + 1).cloned();
+    }
+    std::env::var(env).ok()
+}
+
+fn num(args: &[String], flag: &str, env: &str, default: u64) -> u64 {
+    arg_or_env(args, flag, env)
+        .and_then(|s| {
+            let s = s.trim();
+            match s.strip_prefix("0x") {
+                Some(hex) => u64::from_str_radix(hex, 16).ok(),
+                None => s.parse().ok(),
+            }
+        })
+        .unwrap_or(default)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let seed = num(&args, "--seed", "DPR_CHAOS_SEED", 0xD15EA5E);
+    let secs = num(&args, "--secs", "DPR_CHAOS_SECS", 4);
+    let events = num(&args, "--events", "DPR_CHAOS_EVENTS", 8) as usize;
+    let shards = num(&args, "--shards", "DPR_CHAOS_SHARDS", 3) as usize;
+    let clients = num(&args, "--clients", "DPR_CHAOS_CLIENTS", 2) as usize;
+    let rounds = num(&args, "--rounds", "DPR_CHAOS_ROUNDS", 3) as usize;
+    let out = arg_or_env(&args, "--out", "DPR_CHAOS_JSON")
+        .unwrap_or_else(|| "BENCH_chaos.json".to_string());
+
+    let mut reports: Vec<ChaosReport> = Vec::with_capacity(rounds);
+    for round in 0..rounds {
+        let config = ChaosConfig {
+            seed: seed + round as u64,
+            duration: Duration::from_secs(secs),
+            shards,
+            clients,
+            events,
+            ..ChaosConfig::default()
+        };
+        println!(
+            "chaos round {}/{}: seed {:#x}, {}s, {} events, {} shards, {} clients",
+            round + 1,
+            rounds,
+            config.seed,
+            secs,
+            events,
+            shards,
+            clients,
+        );
+        let report = match dpr_chaos::run(&config) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("chaos round {} failed to run: {e}", round + 1);
+                std::process::exit(2);
+            }
+        };
+        println!(
+            "  {} faults | {} recoveries (p50 {}ms) | availability {:.1}% | \
+             {} ops completed | {} checks | {} violations",
+            report.fault_log.len(),
+            report.recovery_ms.len(),
+            {
+                let mut r = report.recovery_ms.clone();
+                r.sort_unstable();
+                r.get(r.len() / 2).copied().unwrap_or(0)
+            },
+            report.availability_pct(),
+            report.completed,
+            report.checks,
+            report.violation_count,
+        );
+        for v in &report.violations {
+            eprintln!("  VIOLATION: {v}");
+        }
+        reports.push(report);
+    }
+
+    // Campaign document: per-round reports plus a rollup.
+    let total_violations: u64 = reports.iter().map(|r| r.violation_count).sum();
+    let mut doc = String::with_capacity(4096);
+    doc.push_str("{\n\"bench\": \"chaos_campaign\",\n");
+    doc.push_str(&format!(
+        "\"summary\": {{\"rounds\": {}, \"total_faults\": {}, \"total_recoveries\": {}, \
+         \"total_completed_ops\": {}, \"total_checks\": {}, \"total_violations\": {}}},\n",
+        reports.len(),
+        reports.iter().map(|r| r.fault_log.len()).sum::<usize>(),
+        reports.iter().map(|r| r.recovery_ms.len()).sum::<usize>(),
+        reports.iter().map(|r| r.completed).sum::<u64>(),
+        reports.iter().map(|r| r.checks).sum::<u64>(),
+        total_violations,
+    ));
+    doc.push_str("\"rounds\": [\n");
+    for (i, r) in reports.iter().enumerate() {
+        doc.push_str(&r.to_json());
+        if i + 1 < reports.len() {
+            doc.push_str(",\n");
+        }
+    }
+    doc.push_str("]\n}\n");
+    if let Err(e) = std::fs::write(&out, doc) {
+        eprintln!("failed to write {out}: {e}");
+        std::process::exit(2);
+    }
+    println!("wrote {out}");
+    if total_violations > 0 {
+        eprintln!("chaos campaign FAILED: {total_violations} invariant violations");
+        std::process::exit(1);
+    }
+    println!("chaos campaign passed: zero invariant violations");
+}

@@ -1,0 +1,161 @@
+//! Exactly-once ledger: end-to-end session-replay checking under faults.
+//!
+//! A dedicated session issues `Incr` operations against a small set of
+//! counter keys placed far outside the YCSB keyspace, remembering which
+//! serial touched which key. After every recovery it uses the session's
+//! surviving prefix to bound what each counter is allowed to read:
+//!
+//! * **lower bound** — `baseline + incrs with serial < survived`: the
+//!   committed prefix must survive rollback (prefix recoverability, §3);
+//! * **upper bound** — `baseline + all incrs issued this era`: with
+//!   duplicate suppression on, stall-triggered retransmission over lossy
+//!   links must never double-apply an increment (exactly-once, §5.2).
+//!
+//! A counter below the lower bound means a committed effect was lost; one
+//! above the upper bound means a duplicate was applied. The bounds are
+//! deliberately conservative about the gap (completed-but-uncommitted ops
+//! may or may not survive), so they hold under arbitrary fault timing.
+
+use crate::checker::InvariantChecker;
+use dpr_cluster::{ClusterOp, OpResult, SessionHandle};
+use dpr_core::{DprError, Key};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Ledger keys start here — far above any YCSB key.
+const LEDGER_KEY_BASE: u64 = 1 << 40;
+/// Number of ledger counters.
+const LEDGER_KEYS: usize = 8;
+
+/// Drive the ledger session until `stop`; violations go to `checker`.
+pub(crate) fn run(
+    mut session: SessionHandle,
+    checker: Arc<InvariantChecker>,
+    stop: Arc<AtomicBool>,
+) {
+    let keys: Vec<Key> = (0..LEDGER_KEYS as u64)
+        .map(|i| Key::from_u64(LEDGER_KEY_BASE + i * 7919))
+        .collect();
+    let Some(mut baseline) = read_counters(&mut session, &keys, &stop) else {
+        checker.report_violation("ledger: could not read initial counters");
+        return;
+    };
+    // (serial, key index) for every increment issued this era.
+    let mut issued: Vec<(u64, usize)> = Vec::new();
+    let mut next_key = 0usize;
+    let mut iters = 0u64;
+    while !stop.load(Ordering::Acquire) {
+        if session.inflight_ops() < 16 {
+            let idx = next_key % keys.len();
+            next_key += 1;
+            match session.issue(vec![ClusterOp::Incr(keys[idx].clone())]) {
+                Ok(serials) => issued.push((serials[0], idx)),
+                Err(_) => std::thread::sleep(Duration::from_millis(2)),
+            }
+        }
+        match session.poll(true, Duration::from_millis(5)) {
+            Ok(_) => {}
+            Err(DprError::WorldLineMismatch { .. }) => {
+                settle_era(
+                    &mut session,
+                    &keys,
+                    &mut baseline,
+                    &mut issued,
+                    &checker,
+                    &stop,
+                );
+            }
+            Err(_) => {}
+        }
+        let _ = session.resend_stalled(Duration::from_millis(250));
+        iters += 1;
+        if iters % 16 == 0 {
+            // World-line-checked: a cut read across an unnoticed recovery
+            // must not inflate the committed prefix (the next poll
+            // surfaces the mismatch and settles the era).
+            let _ = session.refresh_commit_safe();
+        }
+    }
+}
+
+/// Recovery hit this session: recover, read the counters, and assert the
+/// exactly-once bounds for the era that just ended.
+fn settle_era(
+    session: &mut SessionHandle,
+    keys: &[Key],
+    baseline: &mut [u64],
+    issued: &mut Vec<(u64, usize)>,
+    checker: &InvariantChecker,
+    stop: &AtomicBool,
+) {
+    let survived = loop {
+        match session.recover(Duration::from_secs(15)) {
+            Ok(s) => break s,
+            Err(_) => {
+                if stop.load(Ordering::Acquire) {
+                    return;
+                }
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        }
+    };
+    let Some(counters) = read_counters(session, keys, stop) else {
+        checker.report_violation("ledger: could not read counters after recovery");
+        return;
+    };
+    for (idx, &counter) in counters.iter().enumerate() {
+        let lower: u64 = issued
+            .iter()
+            .filter(|(s, k)| *k == idx && *s < survived)
+            .count() as u64;
+        let upper: u64 = issued.iter().filter(|(_, k)| *k == idx).count() as u64;
+        if counter < baseline[idx] + lower {
+            checker.report_violation(format!(
+                "exactly-once violated: ledger key {idx} read {counter}, but \
+                 {} committed increments must survive recovery (baseline {})",
+                lower, baseline[idx]
+            ));
+        }
+        if counter > baseline[idx] + upper {
+            checker.report_violation(format!(
+                "exactly-once violated: ledger key {idx} read {counter} > \
+                 baseline {} + {upper} issued — an increment was duplicated",
+                baseline[idx]
+            ));
+        }
+    }
+    baseline.copy_from_slice(&counters);
+    issued.clear();
+}
+
+/// Read every ledger counter, retrying across transient failures and
+/// recoveries. `None` only if the cluster stays unreadable.
+fn read_counters(session: &mut SessionHandle, keys: &[Key], stop: &AtomicBool) -> Option<Vec<u64>> {
+    for _ in 0..200 {
+        let reads: Vec<ClusterOp> = keys.iter().map(|k| ClusterOp::Read(k.clone())).collect();
+        match session.execute(reads) {
+            Ok(results) => {
+                return Some(
+                    results
+                        .into_iter()
+                        .map(|r| match r {
+                            OpResult::Value(Some(v)) => v.as_u64().unwrap_or(0),
+                            _ => 0,
+                        })
+                        .collect(),
+                );
+            }
+            Err(DprError::WorldLineMismatch { .. }) => {
+                let _ = session.recover(Duration::from_secs(15));
+            }
+            Err(_) => {
+                if stop.load(Ordering::Acquire) {
+                    return None;
+                }
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        }
+    }
+    None
+}

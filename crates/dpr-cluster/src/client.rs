@@ -32,6 +32,9 @@ struct InflightBatch {
     shard: ShardId,
     header: BatchHeader,
     ops: Vec<ClusterOp>,
+    /// Last transmission time, for stall-triggered retransmission
+    /// ([`SessionHandle::resend_stalled`]).
+    sent_at: Instant,
 }
 
 /// A client session on a DPR cluster.
@@ -85,6 +88,14 @@ impl SessionHandle {
     #[must_use]
     pub fn id(&self) -> SessionId {
         self.dpr.id()
+    }
+
+    /// This session's bus endpoint (chaos harness: install reply-dropping
+    /// link faults with [`crate::SimNetwork::set_link_fault`] to exercise
+    /// the resend/dedupe path).
+    #[must_use]
+    pub fn endpoint(&self) -> EndpointId {
+        self.endpoint
     }
 
     /// Current counters.
@@ -173,6 +184,7 @@ impl SessionHandle {
                 shard,
                 header: header.clone(),
                 ops: ops.clone(),
+                sent_at: Instant::now(),
             },
         );
         self.net.send(
@@ -212,7 +224,12 @@ impl SessionHandle {
             };
             match resp.outcome {
                 Ok((reply, results)) => {
-                    self.inflight.remove(&resp.first_serial);
+                    if self.inflight.remove(&resp.first_serial).is_none() {
+                        // Duplicate reply: a retransmitted batch answered
+                        // from the server's dedupe cache after the original
+                        // reply already completed it. Already accounted for.
+                        continue;
+                    }
                     self.inflight_ops -= u64::from(resp.op_count);
                     match self.dpr.process_reply(&reply) {
                         Ok(()) => {
@@ -228,7 +245,9 @@ impl SessionHandle {
                 }
                 Err(DprError::WorldLineMismatch { current, .. }) => {
                     // Rejected batch: the cluster moved world-lines.
-                    self.inflight.remove(&resp.first_serial);
+                    if self.inflight.remove(&resp.first_serial).is_none() {
+                        continue; // duplicate reply, see above
+                    }
                     self.inflight_ops -= u64::from(resp.op_count);
                     let _ = self.dpr.process_reply(&libdpr::BatchReply {
                         shard: ShardId(u32::MAX),
@@ -243,17 +262,35 @@ impl SessionHandle {
                     });
                 }
                 Err(DprError::Recovering) => {
-                    // Shard mid-recovery: resend the batch unchanged.
-                    if let Some(batch) = self.inflight.get(&resp.first_serial) {
-                        let endpoint = self.workers.read()[&batch.shard];
-                        let _ = self.net.send(
-                            endpoint,
-                            Message::Request(RequestMsg {
-                                reply_to: self.endpoint,
-                                header: batch.header.clone(),
-                                ops: batch.ops.clone(),
-                            }),
-                        );
+                    // Shard mid-recovery: resend the batch unchanged. The
+                    // shard may have been *removed* by membership churn
+                    // while this reply was in flight — then its endpoint is
+                    // gone and the ops must be re-routed to the new owners
+                    // instead.
+                    let endpoint = self
+                        .inflight
+                        .get(&resp.first_serial)
+                        .and_then(|b| self.workers.read().get(&b.shard).copied());
+                    match endpoint {
+                        Some(endpoint) => {
+                            if let Some(batch) = self.inflight.get_mut(&resp.first_serial) {
+                                batch.sent_at = Instant::now();
+                                let _ = self.net.send(
+                                    endpoint,
+                                    Message::Request(RequestMsg {
+                                        reply_to: self.endpoint,
+                                        header: batch.header.clone(),
+                                        ops: batch.ops.clone(),
+                                    }),
+                                );
+                            }
+                        }
+                        None => {
+                            if let Some(batch) = self.inflight.remove(&resp.first_serial) {
+                                self.inflight_ops -= u64::from(resp.op_count);
+                                self.reroute(batch)?;
+                            }
+                        }
                     }
                 }
                 Err(DprError::NotOwner { .. }) => {
@@ -270,8 +307,9 @@ impl SessionHandle {
                     // Other rejections: drop the batch; the serial hole
                     // resolves at the next failure handling or is retried by
                     // the application.
-                    self.inflight.remove(&resp.first_serial);
-                    self.inflight_ops -= u64::from(resp.op_count);
+                    if self.inflight.remove(&resp.first_serial).is_some() {
+                        self.inflight_ops -= u64::from(resp.op_count);
+                    }
                 }
             }
         }
@@ -307,6 +345,48 @@ impl SessionHandle {
         Ok(())
     }
 
+    /// Retransmit every in-flight batch whose reply has been outstanding
+    /// for at least `older_than` — the request or its reply may have been
+    /// dropped by a lossy link. Retransmitting non-idempotent ops is safe
+    /// only when workers run duplicate suppression
+    /// ([`crate::ClusterConfig::dedupe_window`] > 0). Batches whose
+    /// worker endpoint disappeared (membership churn) are re-routed by
+    /// current ownership instead. Returns the number of batches resent.
+    pub fn resend_stalled(&mut self, older_than: Duration) -> Result<usize> {
+        let now = Instant::now();
+        let stalled: Vec<u64> = self
+            .inflight
+            .iter()
+            .filter(|(_, b)| now.duration_since(b.sent_at) >= older_than)
+            .map(|(&serial, _)| serial)
+            .collect();
+        let mut resent = 0usize;
+        for serial in stalled {
+            let Some(batch) = self.inflight.get_mut(&serial) else {
+                continue;
+            };
+            let endpoint = self.workers.read().get(&batch.shard).copied();
+            match endpoint {
+                Some(ep) => {
+                    batch.sent_at = now;
+                    let msg = Message::Request(RequestMsg {
+                        reply_to: self.endpoint,
+                        header: batch.header.clone(),
+                        ops: batch.ops.clone(),
+                    });
+                    let _ = self.net.send(ep, msg);
+                }
+                None => {
+                    let batch = self.inflight.remove(&serial).expect("checked above");
+                    self.inflight_ops -= u64::from(batch.header.op_count);
+                    self.reroute(batch)?;
+                }
+            }
+            resent += 1;
+        }
+        Ok(resent)
+    }
+
     /// Take the results accumulated by completed ops (serial, result),
     /// sorted by serial.
     pub fn take_results(&mut self) -> Vec<(u64, OpResult)> {
@@ -340,8 +420,36 @@ impl SessionHandle {
 
     /// Refresh the committed prefix against the given DPR cut, returning the
     /// resolved watermark.
+    ///
+    /// The caller must know `cut` belongs to this session's world-line: a
+    /// cut read after an unnoticed recovery covers post-rollback version
+    /// numbers that alias purged pre-crash versions, and applying it would
+    /// inflate the prefix past lost operations. When the cut comes straight
+    /// from the metadata store, prefer
+    /// [`SessionHandle::refresh_commit_safe`].
     pub fn refresh_commit(&mut self, cut: &Cut) -> u64 {
         self.dpr.refresh_commit(cut)
+    }
+
+    /// Read the current cut from the metadata store and advance the
+    /// committed prefix — but only while the cluster is still on this
+    /// session's world-line.
+    ///
+    /// Reading the cut *before* the world-line check makes the pair safe:
+    /// if the check passes, the cut predates any transition and is at most
+    /// the frozen recovery cut, so it cannot cover purged versions. On a
+    /// mismatch nothing is applied; call [`SessionHandle::recover`].
+    pub fn refresh_commit_safe(&mut self) -> Result<u64> {
+        let cut = self.meta.read_cut()?;
+        let current = self.meta.world_line()?;
+        let mine = self.dpr.world_line();
+        if current != mine {
+            return Err(DprError::WorldLineMismatch {
+                requested: mine,
+                current,
+            });
+        }
+        Ok(self.dpr.refresh_commit(&cut))
     }
 
     /// Wait until every issued op is committed per the cut source `read`.
@@ -382,7 +490,24 @@ impl SessionHandle {
             }
         }
         let world_line = self.meta.world_line()?;
-        let cut = self.meta.read_cut()?;
+        let mut cut = self.meta.read_cut()?;
+        // Version numbers are ambiguous across world-lines: after rollback,
+        // shards resume at `v_lost + 1` and the cut advances again the
+        // moment recovery completes, so by now it may cover version numbers
+        // the rollback *purged*. Cap each shard's entry by the cut frozen at
+        // every world-line transition this session is crossing — only
+        // operations below all of those survived.
+        let prev = self.dpr.world_line();
+        for w in (prev.0 + 1)..=world_line.0 {
+            if let Some(frozen) = self.meta.recovery_cut(WorldLine(w))? {
+                for (shard, v) in cut.iter_mut() {
+                    // A shard absent from the frozen cut did not exist at
+                    // the transition, so nothing from before it survives.
+                    let cap = frozen.get(shard).copied().unwrap_or(Version::ZERO);
+                    *v = (*v).min(cap);
+                }
+            }
+        }
         // Drain stale replies.
         while self.inbox.try_recv().is_ok() {}
         self.inflight.clear();

@@ -68,6 +68,11 @@ pub struct ClusterConfig {
     /// speed throughput-relevant via append backpressure (§7.2's
     /// "thrashing" regime). `None` = unbounded.
     pub unflushed_limit_records: Option<u64>,
+    /// Per-worker duplicate-suppression window for retransmitted batches
+    /// (see [`crate::worker::WorkerConfig::dedupe_window`]); `0` disables
+    /// it. The chaos harness enables it so client retransmission over
+    /// lossy links stays exactly-once.
+    pub dedupe_window: usize,
 }
 
 impl Default for ClusterConfig {
@@ -89,6 +94,7 @@ impl Default for ClusterConfig {
             validate_ownership: true,
             extra_proxy_hop: false,
             unflushed_limit_records: Some(1 << 18),
+            dedupe_window: 0,
         }
     }
 }
@@ -143,6 +149,7 @@ impl Cluster {
             },
             validate_ownership: config.validate_ownership,
             fast_forward: true,
+            dedupe_window: config.dedupe_window,
         };
 
         let mut workers = Vec::with_capacity(config.shards);
@@ -248,9 +255,25 @@ impl Cluster {
     }
 
     /// Inject a failure (Fig. 16's methodology) and return once recovery is
-    /// underway; workers roll back asynchronously.
+    /// underway; workers roll back asynchronously. Shim for
+    /// [`Cluster::inject_failure_at`] blaming worker 0.
     pub fn inject_failure(&self) -> Result<()> {
-        self.manager.trigger_failure()?;
+        self.inject_failure_at(0)
+    }
+
+    /// Inject a failure attributed to the worker at `idx`. Per §4.1 the
+    /// recovery protocol is cluster-wide regardless of which worker
+    /// crashed — every worker rolls back to the guaranteed cut — but the
+    /// `recovery_begin` span names the blamed shard, and the crashed
+    /// worker discards its volatile duplicate-suppression state as a real
+    /// process restart would.
+    pub fn inject_failure_at(&self, idx: usize) -> Result<()> {
+        let worker = self
+            .workers
+            .get(idx)
+            .ok_or_else(|| dpr_core::DprError::Invalid(format!("no worker at index {idx}")))?;
+        worker.simulate_crash_restart();
+        self.manager.trigger_failure_at(Some(worker.shard()))?;
         Ok(())
     }
 
@@ -286,6 +309,20 @@ impl Cluster {
     #[must_use]
     pub fn metadata(&self) -> &Arc<dyn MetadataStore> {
         &self.meta
+    }
+
+    /// The simulated network (chaos harness installs link faults here).
+    #[must_use]
+    pub fn network(&self) -> &Arc<SimNetwork> {
+        &self.net
+    }
+
+    /// The bus endpoint of the worker at `idx` (chaos harness targets
+    /// link faults at it).
+    #[must_use]
+    pub fn worker_endpoint(&self, idx: usize) -> Option<EndpointId> {
+        let shard = self.workers.get(idx)?.shard();
+        self.worker_endpoints.read().get(&shard).copied()
     }
 
     /// The finder (tests/ablations).
@@ -361,6 +398,7 @@ impl Cluster {
             },
             validate_ownership: self.config.validate_ownership,
             fast_forward: true,
+            dedupe_window: self.config.dedupe_window,
         };
         let worker = Worker::start(
             shard,

@@ -151,6 +151,14 @@ impl ShardStore for FasterShard {
         }
         Ok(())
     }
+
+    fn inject_commit_stall(&self, duration: std::time::Duration) {
+        self.kv.stall_checkpoints_for(duration);
+    }
+
+    fn clear_commit_stall(&self) {
+        self.kv.clear_checkpoint_stall();
+    }
 }
 
 impl StateObject for FasterShard {

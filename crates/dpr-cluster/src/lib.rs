@@ -28,11 +28,11 @@ pub mod tcp;
 pub mod transport;
 pub mod worker;
 
-pub use client::SessionHandle;
+pub use client::{SessionHandle, SessionStats};
 pub use cluster::{Cluster, ClusterConfig, ClusterKind};
 pub use dfaster::FasterShard;
 pub use dredis::RedisShard;
 pub use manager::ClusterManager;
 pub use message::{ClusterOp, OpResult};
-pub use transport::{EndpointId, SimNetwork};
+pub use transport::{EndpointId, LinkFault, SimNetwork};
 pub use worker::{ShardStore, Worker};

@@ -7,7 +7,7 @@
 //! report completion. Here the manager drives the shared metadata store;
 //! workers participate by polling it (see `Worker::check_recovery`).
 
-use dpr_core::{DprError, Result};
+use dpr_core::{DprError, Result, ShardId};
 use dpr_metadata::{MetadataStore, RecoveryState};
 use parking_lot::Mutex;
 use std::sync::Arc;
@@ -37,11 +37,25 @@ impl ClusterManager {
     /// notifying workers of a new world-line, forcing all workers to
     /// rollback to the latest DPR cut."
     pub fn trigger_failure(&self) -> Result<RecoveryState> {
+        self.trigger_failure_at(None)
+    }
+
+    /// [`ClusterManager::trigger_failure`] with failure attribution: when
+    /// `crashed` names a shard, the `recovery_begin` span records which
+    /// worker the detector blamed (the recovery protocol itself is
+    /// unchanged — per §4.1 every worker rolls back to the guaranteed cut
+    /// regardless of which one failed).
+    pub fn trigger_failure_at(&self, crashed: Option<ShardId>) -> Result<RecoveryState> {
         let rec = self.meta.begin_recovery()?;
         *self.recovery_started.lock() = dpr_telemetry::enabled().then(Instant::now);
         dpr_telemetry::global().span("dpr-cluster", "recovery_begin", || {
+            let blame = match crashed {
+                Some(shard) => format!("crashed shard {}, ", shard.0),
+                None => String::new(),
+            };
             format!(
-                "world-line {} ({} shards to roll back)",
+                "{}world-line {} ({} shards to roll back)",
+                blame,
                 rec.world_line.0,
                 rec.pending.len()
             )

@@ -35,6 +35,20 @@ metric_fn!(
 );
 
 metric_fn!(
+    /// Messages dropped by an injected lossy-link fault (chaos harness).
+    pub(crate) fn net_dropped() -> Counter =
+        ("dpr_cluster_net_dropped_total", Count,
+         "Messages dropped by injected lossy-link faults")
+);
+
+metric_fn!(
+    /// Messages currently parked behind a partitioned-link fault.
+    pub(crate) fn net_parked() -> Gauge =
+        ("dpr_cluster_net_parked", Count,
+         "Messages held behind partitioned links (released on heal)")
+);
+
+metric_fn!(
     /// Cluster recoveries completed (§4.1).
     pub(crate) fn recoveries() -> Counter =
         ("dpr_cluster_recoveries_total", Count,

@@ -5,13 +5,26 @@
 //! (zero-latency configuration) or schedules delivery through a delay-heap
 //! pump thread. Per-message delivery cost is what makes client batching
 //! (`b`) and windowing (`w`) matter, reproducing the trade-offs of Fig. 13.
+//!
+//! # Fault injection
+//!
+//! The chaos harness (`dpr-chaos`) perturbs individual links with
+//! [`LinkFault`]s keyed by destination endpoint: extra delay (slow link),
+//! probabilistic drop (lossy link), or a full partition that parks messages
+//! until the fault is cleared. All faulted scheduling preserves per-link
+//! FIFO: a message to endpoint `E` is never delivered before an earlier
+//! message to `E` that is still queued, even across fault set/clear
+//! transitions — matching TCP's in-order guarantee that the DPR session
+//! protocol assumes. Drops are decided by a deterministic xorshift PRNG
+//! seeded via [`SimNetwork::set_fault_seed`] so chaos schedules replay
+//! identically for a given seed.
 
 use crate::message::Message;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use dpr_core::{DprError, Result};
 use parking_lot::{Condvar, Mutex, RwLock};
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{BinaryHeap, HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -19,6 +32,32 @@ use std::time::{Duration, Instant};
 /// Address of a worker or client on the bus.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct EndpointId(pub u64);
+
+/// Fault applied to every message addressed to one endpoint.
+///
+/// Installed with [`SimNetwork::set_link_fault`]; the default value is a
+/// healthy link. Faults compose: a link can be slow *and* lossy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkFault {
+    /// Added to the network's base one-way latency.
+    pub extra_delay: Duration,
+    /// Probability in `[0, 1)` that a message is silently dropped
+    /// (decided by the deterministic fault PRNG).
+    pub drop_rate: f64,
+    /// Park messages instead of delivering; released in order when the
+    /// fault is cleared or replaced by a non-partitioned fault.
+    pub partitioned: bool,
+}
+
+impl Default for LinkFault {
+    fn default() -> Self {
+        LinkFault {
+            extra_delay: Duration::ZERO,
+            drop_rate: 0.0,
+            partitioned: false,
+        }
+    }
+}
 
 struct Delayed {
     deliver_at: Instant,
@@ -46,6 +85,28 @@ impl Ord for Delayed {
 
 struct PumpState {
     heap: BinaryHeap<Reverse<Delayed>>,
+    /// Active per-destination faults; absent entry = healthy link.
+    faults: HashMap<EndpointId, LinkFault>,
+    /// Messages held behind partitioned links, in send order.
+    parked: HashMap<EndpointId, VecDeque<Message>>,
+    /// Latest scheduled delivery per destination; later sends never
+    /// schedule before this, which is what preserves per-link FIFO when a
+    /// fault's delay shrinks or clears mid-stream.
+    fifo_floor: HashMap<EndpointId, Instant>,
+    /// xorshift64* state for drop decisions (never zero).
+    rng: u64,
+}
+
+impl PumpState {
+    /// Next drop decision in `[0, 1)` from the deterministic fault PRNG.
+    fn next_unit(&mut self) -> f64 {
+        let mut x = self.rng;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.rng = x;
+        (x.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 11) as f64 / (1u64 << 53) as f64
+    }
 }
 
 /// The bus.
@@ -57,37 +118,60 @@ pub struct SimNetwork {
     seq: AtomicU64,
     shutdown: AtomicBool,
     next_endpoint: AtomicU64,
+    /// Sticky flag: set the first time a link fault is installed. Once
+    /// set, zero-latency sends stop short-circuiting and go through the
+    /// pump so FIFO order holds relative to still-queued faulted traffic.
+    ever_faulted: AtomicBool,
+    /// Whether the pump thread is running (spawned at construction for
+    /// non-zero latency, lazily on first fault otherwise).
+    pump_running: AtomicBool,
+    dropped: AtomicU64,
 }
 
 impl SimNetwork {
     /// Create a bus with the given one-way message latency. A latency of
-    /// zero delivers synchronously with no pump thread involvement.
+    /// zero delivers synchronously with no pump thread involvement (until
+    /// a link fault is installed, which starts the pump).
     pub fn new(latency: Duration) -> Arc<SimNetwork> {
         let net = Arc::new(SimNetwork {
             latency,
             endpoints: RwLock::new(HashMap::new()),
             pump: Mutex::new(PumpState {
                 heap: BinaryHeap::new(),
+                faults: HashMap::new(),
+                parked: HashMap::new(),
+                fifo_floor: HashMap::new(),
+                rng: 0x9E37_79B9_7F4A_7C15,
             }),
             pump_wake: Condvar::new(),
             seq: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
             next_endpoint: AtomicU64::new(0),
+            ever_faulted: AtomicBool::new(false),
+            pump_running: AtomicBool::new(false),
+            dropped: AtomicU64::new(0),
         });
         if !latency.is_zero() {
-            let weak = Arc::downgrade(&net);
-            std::thread::Builder::new()
-                .name("sim-net-pump".into())
-                .spawn(move || loop {
-                    let Some(net) = weak.upgrade() else { return };
-                    if net.shutdown.load(Ordering::Acquire) {
-                        return;
-                    }
-                    net.pump_once();
-                })
-                .expect("spawn network pump");
+            net.spawn_pump();
         }
         net
+    }
+
+    fn spawn_pump(self: &Arc<Self>) {
+        if self.pump_running.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        let weak = Arc::downgrade(self);
+        std::thread::Builder::new()
+            .name("sim-net-pump".into())
+            .spawn(move || loop {
+                let Some(net) = weak.upgrade() else { return };
+                if net.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                net.pump_once();
+            })
+            .expect("spawn network pump");
     }
 
     /// Allocate a fresh endpoint and its inbox.
@@ -98,24 +182,107 @@ impl SimNetwork {
         (id, rx)
     }
 
-    /// Send `msg` to `to`, subject to the configured latency.
+    /// Send `msg` to `to`, subject to the configured latency and any
+    /// installed [`LinkFault`] for the destination.
     pub fn send(&self, to: EndpointId, msg: Message) -> Result<()> {
         if self.shutdown.load(Ordering::Acquire) {
             return Err(DprError::Closed);
         }
-        if self.latency.is_zero() {
+        if self.latency.is_zero() && !self.ever_faulted.load(Ordering::Acquire) {
             return self.deliver(to, msg);
         }
         let mut pump = self.pump.lock();
+        let fault = pump.faults.get(&to).copied().unwrap_or_default();
+        if fault.partitioned {
+            pump.parked.entry(to).or_default().push_back(msg);
+            crate::metrics::net_parked()
+                .set(pump.parked.values().map(VecDeque::len).sum::<usize>() as i64);
+            return Ok(());
+        }
+        if fault.drop_rate > 0.0 && pump.next_unit() < fault.drop_rate {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            crate::metrics::net_dropped().add(1);
+            return Ok(());
+        }
+        self.schedule(&mut pump, to, msg, self.latency + fault.extra_delay);
+        crate::metrics::net_inflight().set(pump.heap.len() as i64);
+        self.pump_wake.notify_one();
+        Ok(())
+    }
+
+    /// Queue `msg` for delivery to `to` after `delay`, never ahead of an
+    /// earlier message to the same destination (per-link FIFO). Caller
+    /// holds the pump lock.
+    fn schedule(&self, pump: &mut PumpState, to: EndpointId, msg: Message, delay: Duration) {
+        let mut deliver_at = Instant::now() + delay;
+        if let Some(&floor) = pump.fifo_floor.get(&to) {
+            deliver_at = deliver_at.max(floor);
+        }
+        pump.fifo_floor.insert(to, deliver_at);
         pump.heap.push(Reverse(Delayed {
-            deliver_at: Instant::now() + self.latency,
+            deliver_at,
             seq: self.seq.fetch_add(1, Ordering::Relaxed),
             to,
             msg,
         }));
-        crate::metrics::net_inflight().set(pump.heap.len() as i64);
+    }
+
+    /// Install (or replace) the fault on the link to `to`. Starts the
+    /// pump thread if this zero-latency bus never needed one; from then
+    /// on all sends go through the delay heap so ordering is preserved
+    /// across the healthy/faulted transition.
+    pub fn set_link_fault(self: &Arc<Self>, to: EndpointId, fault: LinkFault) {
+        self.spawn_pump();
+        self.ever_faulted.store(true, Ordering::Release);
+        let mut pump = self.pump.lock();
+        pump.faults.insert(to, fault);
+        if !fault.partitioned {
+            self.release_parked(&mut pump, to, fault.extra_delay);
+        }
         self.pump_wake.notify_one();
-        Ok(())
+    }
+
+    /// Heal the link to `to`: remove its fault and release any parked
+    /// messages, in their original send order, at the base latency.
+    pub fn clear_link_fault(&self, to: EndpointId) {
+        let mut pump = self.pump.lock();
+        pump.faults.remove(&to);
+        self.release_parked(&mut pump, to, Duration::ZERO);
+        self.pump_wake.notify_one();
+    }
+
+    /// Heal every link at once (end of a chaos round).
+    pub fn clear_all_link_faults(&self) {
+        let mut pump = self.pump.lock();
+        pump.faults.clear();
+        let targets: Vec<EndpointId> = pump.parked.keys().copied().collect();
+        for to in targets {
+            self.release_parked(&mut pump, to, Duration::ZERO);
+        }
+        self.pump_wake.notify_one();
+    }
+
+    /// Reseed the deterministic drop PRNG (chaos runs call this once so
+    /// the whole fault schedule replays from a single `u64`).
+    pub fn set_fault_seed(&self, seed: u64) {
+        // xorshift state must be non-zero.
+        self.pump.lock().rng = seed | 1;
+    }
+
+    /// Messages dropped so far by lossy-link faults.
+    #[must_use]
+    pub fn dropped_count(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    fn release_parked(&self, pump: &mut PumpState, to: EndpointId, extra: Duration) {
+        if let Some(queue) = pump.parked.remove(&to) {
+            for msg in queue {
+                self.schedule(pump, to, msg, self.latency + extra);
+            }
+            crate::metrics::net_parked()
+                .set(pump.parked.values().map(VecDeque::len).sum::<usize>() as i64);
+        }
     }
 
     fn deliver(&self, to: EndpointId, msg: Message) -> Result<()> {
@@ -224,5 +391,119 @@ mod tests {
     fn unknown_endpoint_errors() {
         let net = SimNetwork::new(Duration::ZERO);
         assert!(net.send(EndpointId(99), response(0)).is_err());
+    }
+
+    fn recv_serial(rx: &Receiver<Message>) -> u64 {
+        match rx.recv_timeout(Duration::from_millis(2000)).unwrap() {
+            Message::Response(r) => r.first_serial,
+            Message::Request(_) => panic!("wrong message"),
+        }
+    }
+
+    #[test]
+    fn slow_link_adds_delay() {
+        let net = SimNetwork::new(Duration::ZERO);
+        let (id, rx) = net.register();
+        net.set_link_fault(
+            id,
+            LinkFault {
+                extra_delay: Duration::from_millis(30),
+                ..LinkFault::default()
+            },
+        );
+        let start = Instant::now();
+        net.send(id, response(1)).unwrap();
+        let _ = rx.recv_timeout(Duration::from_millis(2000)).unwrap();
+        assert!(start.elapsed() >= Duration::from_millis(25));
+    }
+
+    #[test]
+    fn partition_parks_until_heal_in_order() {
+        let net = SimNetwork::new(Duration::ZERO);
+        let (id, rx) = net.register();
+        net.set_link_fault(
+            id,
+            LinkFault {
+                partitioned: true,
+                ..LinkFault::default()
+            },
+        );
+        for i in 0..5 {
+            net.send(id, response(i)).unwrap();
+        }
+        assert!(
+            rx.recv_timeout(Duration::from_millis(50)).is_err(),
+            "partition holds traffic"
+        );
+        net.clear_link_fault(id);
+        for i in 0..5 {
+            assert_eq!(recv_serial(&rx), i, "released in send order");
+        }
+    }
+
+    #[test]
+    fn lossy_link_drops_deterministically() {
+        let counts: Vec<u64> = (0..2)
+            .map(|_| {
+                let net = SimNetwork::new(Duration::ZERO);
+                net.set_fault_seed(7);
+                let (id, rx) = net.register();
+                net.set_link_fault(
+                    id,
+                    LinkFault {
+                        drop_rate: 0.5,
+                        ..LinkFault::default()
+                    },
+                );
+                for i in 0..64 {
+                    net.send(id, response(i)).unwrap();
+                }
+                // Drain whatever survived; exact set must match per seed.
+                let mut survived = 0u64;
+                while rx.recv_timeout(Duration::from_millis(100)).is_ok() {
+                    survived += 1;
+                }
+                assert_eq!(net.dropped_count() + survived, 64);
+                assert!(net.dropped_count() > 0, "some messages dropped");
+                net.dropped_count()
+            })
+            .collect();
+        assert_eq!(counts[0], counts[1], "same seed, same drops");
+    }
+
+    #[test]
+    fn fifo_preserved_across_fault_clear() {
+        // A message stuck behind a big injected delay must still arrive
+        // before a message sent after the fault cleared.
+        let net = SimNetwork::new(Duration::ZERO);
+        let (id, rx) = net.register();
+        net.set_link_fault(
+            id,
+            LinkFault {
+                extra_delay: Duration::from_millis(40),
+                ..LinkFault::default()
+            },
+        );
+        net.send(id, response(0)).unwrap();
+        net.clear_link_fault(id);
+        net.send(id, response(1)).unwrap();
+        assert_eq!(recv_serial(&rx), 0);
+        assert_eq!(recv_serial(&rx), 1);
+    }
+
+    #[test]
+    fn shutdown_with_parked_messages_does_not_hang() {
+        let net = SimNetwork::new(Duration::from_millis(5));
+        let (id, _rx) = net.register();
+        net.set_link_fault(
+            id,
+            LinkFault {
+                partitioned: true,
+                ..LinkFault::default()
+            },
+        );
+        net.send(id, response(0)).unwrap();
+        net.shutdown();
+        assert!(net.send(id, response(1)).is_err(), "closed after shutdown");
     }
 }

@@ -31,6 +31,19 @@ pub trait ShardStore: StateObject {
         let _ = version;
         Ok(())
     }
+
+    /// Chaos fault point: delay in-flight and future checkpoint
+    /// completion for `duration`, simulating a hung flush device.
+    /// Default: stores without a checkpoint machine ignore it.
+    fn inject_commit_stall(&self, duration: Duration) {
+        let _ = duration;
+    }
+
+    /// Lift any active commit stall ("the device recovers"). The chaos
+    /// harness must call this before injecting a crash: rollback waits
+    /// for the checkpoint machine to go idle, which a stalled `WaitFlush`
+    /// phase would block. Default: no-op.
+    fn clear_commit_stall(&self) {}
 }
 
 /// Worker behavior knobs (these map onto the paper's experiment axes).
@@ -52,6 +65,12 @@ pub struct WorkerConfig {
     pub validate_ownership: bool,
     /// Fast-forward lagging checkpoints to the cluster `Vmax` (§3.4).
     pub fast_forward: bool,
+    /// Remember the replies of the last `dedupe_window` remote batches
+    /// per worker and replay them on duplicate delivery instead of
+    /// re-executing, keeping non-idempotent ops exactly-once when clients
+    /// retransmit over lossy links. `0` (the default) disables the cache;
+    /// the chaos harness enables it alongside client retransmission.
+    pub dedupe_window: usize,
 }
 
 impl Default for WorkerConfig {
@@ -63,8 +82,26 @@ impl Default for WorkerConfig {
             executors: 2,
             validate_ownership: true,
             fast_forward: true,
+            dedupe_window: 0,
         }
     }
+}
+
+/// State of one remembered batch in the duplicate-suppression cache.
+enum DedupeEntry {
+    /// The first copy is still executing; drop duplicates (its reply is
+    /// already on the way, and the client retries again if it is lost).
+    Executing,
+    /// Completed; replay this reply on duplicate delivery.
+    Done(BatchReply, Vec<OpResult>),
+}
+
+/// Bounded FIFO cache of recent batch replies, keyed by the client-unique
+/// `(session, first_serial)` pair.
+#[derive(Default)]
+struct DedupeCache {
+    entries: std::collections::HashMap<(SessionId, u64), DedupeEntry>,
+    order: std::collections::VecDeque<(SessionId, u64)>,
 }
 
 /// One shard worker.
@@ -81,6 +118,10 @@ pub struct Worker {
     shutdown: AtomicBool,
     /// Operations executed (all sessions) — worker-side throughput counter.
     executed_ops: AtomicU64,
+    /// Duplicate suppression for retransmitted remote batches (volatile:
+    /// a crash-restart clears it, which is safe because the rolled-back
+    /// world-line forces clients to rebuild their sessions anyway).
+    dedupe: parking_lot::Mutex<DedupeCache>,
 }
 
 impl Worker {
@@ -110,6 +151,7 @@ impl Worker {
             config,
             shutdown: AtomicBool::new(false),
             executed_ops: AtomicU64::new(0),
+            dedupe: parking_lot::Mutex::new(DedupeCache::default()),
         });
         for i in 0..worker.config.executors.max(1) {
             let weak = Arc::downgrade(&worker);
@@ -206,6 +248,59 @@ impl Worker {
         self.shutdown.store(true, Ordering::Release);
     }
 
+    /// Simulate the volatile-state loss of a process crash + restart
+    /// (chaos harness, via [`crate::Cluster::inject_failure_at`]): durable
+    /// state survives, the duplicate-suppression cache does not.
+    pub fn simulate_crash_restart(&self) {
+        let mut cache = self.dedupe.lock();
+        cache.entries.clear();
+        cache.order.clear();
+    }
+
+    /// Duplicate check for a remote batch. `None` means fresh (caller
+    /// executes and records the outcome); `Some(None)` means a copy is
+    /// already executing (drop the duplicate); `Some(Some(_))` replays
+    /// the cached reply.
+    #[allow(clippy::option_option)]
+    fn dedupe_check(&self, header: &BatchHeader) -> Option<Option<(BatchReply, Vec<OpResult>)>> {
+        let key = (header.session, header.first_serial);
+        let mut cache = self.dedupe.lock();
+        match cache.entries.get(&key) {
+            Some(DedupeEntry::Executing) => Some(None),
+            Some(DedupeEntry::Done(reply, results)) => Some(Some((reply.clone(), results.clone()))),
+            None => {
+                cache.entries.insert(key, DedupeEntry::Executing);
+                cache.order.push_back(key);
+                while cache.order.len() > self.config.dedupe_window {
+                    if let Some(old) = cache.order.pop_front() {
+                        cache.entries.remove(&old);
+                    }
+                }
+                None
+            }
+        }
+    }
+
+    /// Record the outcome of a fresh batch: successes are cached for
+    /// replay; failures clear the in-flight marker so a retry re-executes.
+    fn dedupe_record(&self, header: &BatchHeader, outcome: &Result<(BatchReply, Vec<OpResult>)>) {
+        let key = (header.session, header.first_serial);
+        let mut cache = self.dedupe.lock();
+        match outcome {
+            Ok((reply, results)) => {
+                if let Some(entry) = cache.entries.get_mut(&key) {
+                    *entry = DedupeEntry::Done(reply.clone(), results.clone());
+                }
+            }
+            Err(_) => {
+                if matches!(cache.entries.get(&key), Some(DedupeEntry::Executing)) {
+                    cache.entries.remove(&key);
+                    cache.order.retain(|k| k != &key);
+                }
+            }
+        }
+    }
+
     fn control_tick(&self, last_checkpoint: &mut Instant, poll_counter: &mut u32) {
         if let Some(interval) = self.config.checkpoint_interval {
             if last_checkpoint.elapsed() >= interval {
@@ -253,6 +348,9 @@ impl Worker {
         if self.store.restore(target).is_ok() {
             self.server.on_restore(target);
             self.server.set_world_line(rec.world_line);
+            // Cached replies carry the old world-line; never replay them
+            // into the new one.
+            self.simulate_crash_restart();
             crate::metrics::worker_rollbacks().inc();
             dpr_telemetry::global().span("dpr-cluster", "worker_rollback", || {
                 format!(
@@ -293,7 +391,30 @@ fn handle_request(w: &Arc<Worker>, req: RequestMsg) {
         header,
         ops,
     } = req;
+    let dedupe = w.config.dedupe_window > 0;
+    if dedupe {
+        match w.dedupe_check(&header) {
+            // First copy still executing; its reply is on the way.
+            Some(None) => return,
+            Some(Some(cached)) => {
+                let _ = w.net.send(
+                    reply_to,
+                    Message::Response(ResponseMsg {
+                        session: Some(header.session),
+                        first_serial: header.first_serial,
+                        op_count: header.op_count,
+                        outcome: Ok(cached),
+                    }),
+                );
+                return;
+            }
+            None => {}
+        }
+    }
     let outcome = w.execute_local(&header, &ops);
+    if dedupe {
+        w.dedupe_record(&header, &outcome);
+    }
     let _ = w.net.send(
         reply_to,
         Message::Response(ResponseMsg {

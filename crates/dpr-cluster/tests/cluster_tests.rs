@@ -1,10 +1,10 @@
 //! End-to-end tests: full D-FASTER / D-Redis clusters with client sessions,
 //! commit propagation, failure injection and recovery.
 
-use dpr_cluster::{Cluster, ClusterConfig, ClusterKind, ClusterOp, OpResult};
+use dpr_cluster::{Cluster, ClusterConfig, ClusterKind, ClusterOp, LinkFault, OpResult};
 use dpr_core::{Key, RecoverabilityLevel, Value};
 use dpr_storage::StorageProfile;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 fn base_config(kind: ClusterKind, shards: usize) -> ClusterConfig {
     ClusterConfig {
@@ -328,6 +328,71 @@ fn windowed_async_issue_and_poll() {
         .wait_all_committed(cluster.cut_source(), Duration::from_secs(10))
         .unwrap();
     assert_eq!(session.stats().committed, total);
+    cluster.shutdown();
+}
+
+#[test]
+fn inject_failure_at_invalid_index_is_an_error() {
+    let cluster = Cluster::start(base_config(ClusterKind::DFaster, 2)).unwrap();
+    assert!(
+        cluster.inject_failure_at(5).is_err(),
+        "index 5 on a 2-worker cluster must be rejected"
+    );
+    // The rejected call must not have disturbed the cluster.
+    let mut session = cluster.open_session().unwrap();
+    session.execute(ops_for_keys(0..8)).unwrap();
+    assert_eq!(session.stats().completed, 8);
+    cluster.shutdown();
+}
+
+#[test]
+fn lossy_links_with_dedupe_apply_increments_exactly_once() {
+    // Non-idempotent Incrs over links that drop both requests and replies.
+    // A dropped request is repaired by `resend_stalled`; a dropped *reply*
+    // makes the client resend a batch the worker already executed, so the
+    // worker's dedupe cache must answer without re-applying (§7.2).
+    let mut config = base_config(ClusterKind::DFaster, 2);
+    config.dedupe_window = 64;
+    let cluster = Cluster::start(config).unwrap();
+    cluster.network().set_fault_seed(0xBAD_CAFE);
+    let mut session = cluster.open_session().unwrap();
+    let key = Key::from_u64(77);
+    const INCRS: u64 = 50;
+
+    let lossy = LinkFault {
+        drop_rate: 0.3,
+        ..LinkFault::default()
+    };
+    for idx in 0..2 {
+        let ep = cluster.worker_endpoint(idx).unwrap();
+        cluster.network().set_link_fault(ep, lossy);
+    }
+    cluster.network().set_link_fault(session.endpoint(), lossy);
+
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let mut issued = 0u64;
+    while session.stats().completed < INCRS {
+        assert!(
+            Instant::now() < deadline,
+            "lossy-link retry loop did not converge ({} of {INCRS} done)",
+            session.stats().completed
+        );
+        if issued < INCRS && session.inflight_ops() < 8 {
+            session.issue(vec![ClusterOp::Incr(key.clone())]).unwrap();
+            issued += 1;
+        }
+        session.poll(false, Duration::from_millis(5)).unwrap();
+        session.resend_stalled(Duration::from_millis(10)).unwrap();
+        std::thread::sleep(Duration::from_millis(1));
+    }
+
+    cluster.network().clear_all_link_faults();
+    let results = session.execute(vec![ClusterOp::Read(key)]).unwrap();
+    assert_eq!(
+        results[0],
+        OpResult::Value(Some(Value::from_u64(INCRS))),
+        "increments lost or double-applied across the lossy link"
+    );
     cluster.shutdown();
 }
 

@@ -136,6 +136,52 @@ fn dredis_migration_works_too() {
 }
 
 #[test]
+fn migration_under_concurrent_increments_is_exactly_once() {
+    // A non-idempotent workload (Incr on one key) races the partition it
+    // lives in being migrated back and forth. Every increment must apply
+    // exactly once: a lost effect or a double-apply both show up in the
+    // final counter.
+    let cluster = Cluster::start(config(ClusterKind::DFaster, 2)).unwrap();
+    let key = Key::from_u64(4242);
+    let vp = dpr_metadata::VirtualPartition((key.hash64() % 16) as u32);
+    const INCRS: u64 = 300;
+
+    std::thread::scope(|scope| {
+        let c = &cluster;
+        let k = key.clone();
+        let writer = scope.spawn(move || {
+            let mut session = c.open_session().unwrap();
+            for _ in 0..INCRS {
+                session.execute(vec![ClusterOp::Incr(k.clone())]).unwrap();
+            }
+        });
+        // Bounce the partition between the two workers while the
+        // increments flow.
+        for _ in 0..6 {
+            let owner = c.owner_of(&key).unwrap();
+            let from = c
+                .workers()
+                .iter()
+                .position(|w| w.shard() == owner)
+                .expect("owner is a live worker");
+            let to = (from + 1) % 2;
+            c.migrate_partition(vp, from, to).unwrap();
+            std::thread::sleep(Duration::from_millis(15));
+        }
+        writer.join().unwrap();
+    });
+
+    let mut session = cluster.open_session().unwrap();
+    let results = session.execute(vec![ClusterOp::Read(key)]).unwrap();
+    assert_eq!(
+        results[0],
+        OpResult::Value(Some(Value::from_u64(INCRS))),
+        "increments lost or duplicated across migrations"
+    );
+    cluster.shutdown();
+}
+
+#[test]
 fn client_with_inflight_batches_survives_migration() {
     // Writes racing an ownership transfer are re-routed by the client and
     // none are lost.

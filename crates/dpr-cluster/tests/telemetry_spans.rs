@@ -58,6 +58,10 @@ fn checkpoint_and_recovery_emit_expected_span_sequence() {
 
     cluster.inject_failure().unwrap();
     cluster.wait_recovered(Duration::from_secs(10)).unwrap();
+    // Second failure through the targeted path: attribution must follow
+    // the index (the worker-0 shim above blames shard 0).
+    cluster.inject_failure_at(1).unwrap();
+    cluster.wait_recovered(Duration::from_secs(10)).unwrap();
     cluster.shutdown();
 
     let spans = dpr_telemetry::global().spans();
@@ -105,5 +109,46 @@ fn checkpoint_and_recovery_emit_expected_span_sequence() {
     assert!(
         r0 < complete && r1 < complete,
         "recovery_complete must follow both shard rollbacks (r0={r0}, r1={r1}, complete={complete})"
+    );
+
+    // Failure attribution (satellite: generalized `inject_failure_at`):
+    // the worker-0 shim blames shard 0, the targeted call blames shard 1,
+    // and the second recovery runs the full arc again.
+    assert_eq!(
+        begin,
+        find_span(
+            &spans,
+            0,
+            "dpr-cluster",
+            "recovery_begin",
+            "crashed shard 0"
+        ),
+        "the inject_failure shim must blame worker 0"
+    );
+    let begin2 = find_span(
+        &spans,
+        complete + 1,
+        "dpr-cluster",
+        "recovery_begin",
+        "crashed shard 1",
+    );
+    let r0b = find_span(
+        &spans,
+        begin2 + 1,
+        "dpr-cluster",
+        "worker_rollback",
+        "shard 0",
+    );
+    let r1b = find_span(
+        &spans,
+        begin2 + 1,
+        "dpr-cluster",
+        "worker_rollback",
+        "shard 1",
+    );
+    let complete2 = find_span(&spans, begin2 + 1, "dpr-cluster", "recovery_complete", "");
+    assert!(
+        r0b < complete2 && r1b < complete2,
+        "second recovery must also complete after both rollbacks"
     );
 }

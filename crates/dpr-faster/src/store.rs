@@ -176,6 +176,10 @@ pub struct FasterKv {
     /// later manifest so a client can learn its surviving prefix even after
     /// its server-side session closed.
     departed: Mutex<BTreeMap<SessionId, CommitPoint>>,
+    /// Chaos fault point: while `Some(deadline)` is in the future, the
+    /// checkpoint machine parks in `WaitFlush` as if the flush device
+    /// hung (see [`FasterKv::stall_checkpoints_for`]).
+    checkpoint_stall: Mutex<Option<std::time::Instant>>,
     shutdown: AtomicBool,
 }
 
@@ -205,6 +209,7 @@ impl FasterKv {
             durable_version: AtomicU64::new(0),
             recovered_manifest: None,
             departed: Mutex::new(BTreeMap::new()),
+            checkpoint_stall: Mutex::new(None),
             shutdown: AtomicBool::new(false),
             config,
         });
@@ -303,6 +308,7 @@ impl FasterKv {
                     .unwrap_or_default(),
             ),
             recovered_manifest,
+            checkpoint_stall: Mutex::new(None),
             shutdown: AtomicBool::new(false),
             config,
         });
@@ -840,6 +846,25 @@ impl FasterKv {
         self.requests.lock().push_back(Request::Rollback { v_safe });
     }
 
+    /// Chaos fault point: park checkpoint completion for `duration`, as if
+    /// the flush device hung. The CPR machine stays in `WaitFlush` (ops
+    /// keep executing, versions keep advancing) so the cluster cut lag
+    /// `Vmax − Vsafe` grows until the stall expires; calling again
+    /// extends the stall to the later deadline.
+    pub fn stall_checkpoints_for(&self, duration: Duration) {
+        let deadline = std::time::Instant::now() + duration;
+        let mut stall = self.checkpoint_stall.lock();
+        *stall = Some(match *stall {
+            Some(existing) => existing.max(deadline),
+            None => deadline,
+        });
+    }
+
+    /// Lift any active checkpoint stall (chaos harness heals the device).
+    pub fn clear_checkpoint_stall(&self) {
+        *self.checkpoint_stall.lock() = None;
+    }
+
     /// Drive the state machine one step, performing heavy work (flush,
     /// purge) inline. The maintenance thread calls this continuously;
     /// deterministic tests call it manually.
@@ -998,6 +1023,18 @@ impl FasterKv {
                 }
             }
             Phase::WaitFlush => {
+                // Chaos fault point: a stalled flush device parks the
+                // machine here; ops keep executing in the in-progress
+                // version and the cut lag grows until the stall expires.
+                {
+                    let mut stall = self.checkpoint_stall.lock();
+                    if let Some(deadline) = *stall {
+                        if std::time::Instant::now() < deadline {
+                            return;
+                        }
+                        *stall = None;
+                    }
+                }
                 let Some(ctx) = machine.as_mut() else { return };
                 let until = ctx.until_address.expect("sealed before WaitFlush");
                 let MachineKind::Checkpoint {

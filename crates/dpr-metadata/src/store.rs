@@ -106,6 +106,18 @@ pub trait MetadataStore: Send + Sync {
 
     /// The in-flight recovery, if any.
     fn recovery_in_progress(&self) -> Result<Option<RecoveryState>>;
+
+    /// The cut frozen by the recovery that created `world_line` — the
+    /// rollback target of the transition into it. `None` for world-line 0
+    /// (no transition) or unknown world-lines.
+    ///
+    /// Version numbers are ambiguous across world-lines: after rollback,
+    /// operations resume at `v_lost + 1`, so the *current* cut quickly
+    /// covers version numbers the rollback purged. A client crossing
+    /// world-lines must therefore constrain its surviving prefix by the
+    /// frozen cut of every transition it crosses, not by the cut it reads
+    /// after recovery completes (see `SessionHandle::recover`).
+    fn recovery_cut(&self, world_line: WorldLine) -> Result<Option<Cut>>;
 }
 
 #[derive(Default)]
@@ -115,6 +127,9 @@ struct Tables {
     cut: Cut,
     world_line: WorldLine,
     recovery: Option<RecoveryState>,
+    /// World-line → the cut frozen by the recovery that created it. Grows
+    /// one entry per failure, so it stays tiny.
+    recovery_cuts: BTreeMap<WorldLine, Cut>,
 }
 
 /// In-process linearizable table store with per-statement latency injection.
@@ -321,6 +336,8 @@ impl MetadataStore for SimulatedSqlStore {
             pending: t.dpr.keys().copied().collect::<BTreeSet<_>>(),
         };
         t.recovery = Some(state.clone());
+        let frozen = state.cut.clone();
+        t.recovery_cuts.insert(state.world_line, frozen);
         Ok(state)
     }
 
@@ -341,6 +358,11 @@ impl MetadataStore for SimulatedSqlStore {
     fn recovery_in_progress(&self) -> Result<Option<RecoveryState>> {
         self.charge();
         Ok(self.tables.lock().recovery.clone())
+    }
+
+    fn recovery_cut(&self, world_line: WorldLine) -> Result<Option<Cut>> {
+        self.charge();
+        Ok(self.tables.lock().recovery_cuts.get(&world_line).cloned())
     }
 }
 
@@ -452,6 +474,27 @@ mod tests {
         assert!(s.recovery_in_progress().unwrap().is_none());
         s.update_cut_atomically(Cut::from([(shard(0), Version(1))]))
             .unwrap();
+    }
+
+    #[test]
+    fn recovery_cut_is_retained_per_world_line() {
+        let s = SimulatedSqlStore::new();
+        s.register_worker(shard(0)).unwrap();
+        s.update_cut_atomically(Cut::from([(shard(0), Version(4))]))
+            .unwrap();
+        assert_eq!(s.recovery_cut(WorldLine(0)).unwrap(), None);
+        let rec = s.begin_recovery().unwrap();
+        s.report_rollback_complete(shard(0)).unwrap();
+        // The cut advances again after recovery...
+        s.update_cut_atomically(Cut::from([(shard(0), Version(9))]))
+            .unwrap();
+        // ...but the transition's frozen cut stays pinned at the rollback
+        // target, so late-recovering clients can still compute a sound
+        // surviving prefix.
+        assert_eq!(
+            s.recovery_cut(rec.world_line).unwrap(),
+            Some(Cut::from([(shard(0), Version(4))]))
+        );
     }
 
     #[test]

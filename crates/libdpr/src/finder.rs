@@ -170,6 +170,7 @@ impl DprFinder for ExactFinder {
     fn report_commit(&self, token: Token, deps: Vec<Token>) -> Result<()> {
         // Also maintain the DPR table so Vmax and membership stay accurate.
         crate::metrics::graph_dep_tokens().add(deps.len() as u64);
+        crate::audit::commit_reported(token, &deps);
         self.meta
             .update_persisted_version(token.shard, token.version)?;
         self.meta.add_graph_version(token, deps)
@@ -180,6 +181,11 @@ impl DprFinder for ExactFinder {
             return Ok(());
         }
         crate::metrics::graph_dep_tokens().add(reports.iter().map(|(_, d)| d.len() as u64).sum());
+        if crate::audit::enabled() {
+            for (token, deps) in &reports {
+                crate::audit::commit_reported(*token, deps);
+            }
+        }
         // One DPR-table statement (max version per shard) + one graph insert.
         self.meta
             .update_persisted_versions(&max_versions_per_shard(&reports))?;
@@ -194,6 +200,7 @@ impl DprFinder for ExactFinder {
         let cut = compute_closure_cut(&graph, &floor);
         let result = match self.meta.update_cut_atomically(cut.clone()) {
             Ok(()) => {
+                crate::audit::cut_published(&cut);
                 self.meta.prune_graph_below(&cut)?;
                 Ok(())
             }
@@ -253,8 +260,11 @@ impl ApproximateFinder {
 }
 
 impl DprFinder for ApproximateFinder {
-    fn report_commit(&self, token: Token, _deps: Vec<Token>) -> Result<()> {
-        // Dependency information is discarded — monotonicity makes Vmin safe.
+    fn report_commit(&self, token: Token, deps: Vec<Token>) -> Result<()> {
+        // Dependency information is discarded — monotonicity makes Vmin
+        // safe — but the audit tap still sees it so the chaos checker can
+        // verify the published cut is closed under the *real* dependencies.
+        crate::audit::commit_reported(token, &deps);
         self.meta
             .update_persisted_version(token.shard, token.version)
     }
@@ -262,6 +272,11 @@ impl DprFinder for ApproximateFinder {
     fn report_commits(&self, reports: Vec<(Token, Vec<Token>)>) -> Result<()> {
         if reports.is_empty() {
             return Ok(());
+        }
+        if crate::audit::enabled() {
+            for (token, deps) in &reports {
+                crate::audit::commit_reported(*token, deps);
+            }
         }
         self.meta
             .update_persisted_versions(&max_versions_per_shard(&reports))
@@ -271,8 +286,15 @@ impl DprFinder for ApproximateFinder {
         let _timer = crate::metrics::finder_refresh().start_timer();
         observe_cut_lag(&*self.meta);
         let cut = self.min_cut()?;
+        let audited = crate::audit::enabled().then(|| cut.clone());
         match self.meta.update_cut_atomically(cut) {
-            Ok(()) | Err(dpr_core::DprError::Recovering) => Ok(()),
+            Ok(()) => {
+                if let Some(cut) = audited {
+                    crate::audit::cut_published(&cut);
+                }
+                Ok(())
+            }
+            Err(dpr_core::DprError::Recovering) => Ok(()),
             Err(e) => Err(e),
         }
     }
@@ -329,6 +351,7 @@ impl DprFinder for HybridFinder {
         // In-memory graph only, but the write volume is still the signal the
         // hybrid exists to reduce durably (§3.4).
         crate::metrics::graph_dep_tokens().add(deps.len() as u64);
+        crate::audit::commit_reported(token, &deps);
         self.meta
             .update_persisted_version(token.shard, token.version)?;
         self.graph.lock().insert(token, deps);
@@ -340,6 +363,11 @@ impl DprFinder for HybridFinder {
             return Ok(());
         }
         crate::metrics::graph_dep_tokens().add(reports.iter().map(|(_, d)| d.len() as u64).sum());
+        if crate::audit::enabled() {
+            for (token, deps) in &reports {
+                crate::audit::commit_reported(*token, deps);
+            }
+        }
         // One durable statement for the whole group; the graph is in-memory.
         self.meta
             .update_persisted_versions(&max_versions_per_shard(&reports))?;
@@ -368,8 +396,15 @@ impl DprFinder for HybridFinder {
         self.graph
             .lock()
             .retain(|t, _| cut.get(&t.shard).copied().unwrap_or(Version::ZERO) < t.version);
+        let audited = crate::audit::enabled().then(|| cut.clone());
         match self.meta.update_cut_atomically(cut) {
-            Ok(()) | Err(dpr_core::DprError::Recovering) => Ok(()),
+            Ok(()) => {
+                if let Some(cut) = audited {
+                    crate::audit::cut_published(&cut);
+                }
+                Ok(())
+            }
+            Err(dpr_core::DprError::Recovering) => Ok(()),
             Err(e) => Err(e),
         }
     }

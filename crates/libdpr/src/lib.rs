@@ -21,6 +21,7 @@
 
 #![warn(missing_docs)]
 
+pub mod audit;
 pub mod client;
 pub mod finder;
 pub mod header;

@@ -34,6 +34,16 @@ DPR_BENCH_SECS=0.25 DPR_GATE_THREADS=1,2 \
     DPR_GATE_JSON=target/BENCH_gate.smoke.json \
     cargo run --release -q -p dpr-bench --bin gate_scaling
 
+# Chaos smoke: one short fixed-seed round of the fault-injection campaign
+# with the online invariant checker (crates/dpr-chaos; docs/PROTOCOL.md
+# §10). Exits nonzero on any invariant violation. The checked-in
+# BENCH_chaos.json comes from a full default-length campaign; the smoke
+# writes to the target directory instead.
+echo
+echo "==> chaos smoke (1 round, seed 42, 2s)"
+cargo run --release -q -p dpr-bench --bin chaos -- \
+    --seed 42 --secs 2 --rounds 1 --out target/BENCH_chaos.smoke.json
+
 echo
 echo "==> cargo doc --no-deps --workspace (warnings denied)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
