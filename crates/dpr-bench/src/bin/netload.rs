@@ -1,0 +1,458 @@
+//! netload — closed-loop load generator for the real TCP network plane.
+//!
+//! Unlike the `fig*` binaries (which drive the in-process simulated bus),
+//! this bench crosses a real process *and* socket boundary: the same binary
+//! re-executes itself with `--serve`, and the child hosts a whole cluster —
+//! `DPR_NET_SHARDS` shard workers behind one fan-in [`NetServer`] listener —
+//! while the parent drives `DPR_NET_SESSIONS` concurrent [`PipelinedClient`]
+//! sessions against it over loopback TCP (one connection per session; the
+//! wire contract is `docs/NETWORK.md`).
+//!
+//! Each driver thread owns a slice of the sessions and runs them closed
+//! loop: a session keeps up to `DPR_NET_WINDOW` batches of `DPR_NET_BATCH`
+//! ops in flight, and a per-thread token bucket caps the aggregate issue
+//! rate at the point's target QPS (`0` = uncapped, the saturation point).
+//! Batch latency — issue to response, including encode, two socket hops,
+//! and server-side execution — is recorded into `dpr-telemetry` histograms.
+//! Sessions also track their durable prefix entirely over the wire via
+//! `CutReq` frames, so the report's `committed_ops` is the DPR guarantee as
+//! a remote client observes it, not a metadata-store peek.
+//!
+//! The child enables ownership-free routing (`validate_ownership = false`)
+//! and clients partition keys per shard on their side — the standard
+//! deployment mode for an external load generator that has no ownership
+//! table (see `docs/NETWORK.md` §7).
+//!
+//! Output: one `netload` row per QPS point plus a JSON report
+//! (`DPR_NET_JSON`, default `BENCH_net.json`) with the acceptance numbers:
+//! sessions, shards, peak throughput, and tail latency per point.
+
+use dpr_bench::util::{env_list, row};
+use dpr_cluster::{Cluster, ClusterConfig, ClusterOp, NetServer, NetServerConfig, PipelinedClient};
+use dpr_core::{Key, SessionId, Value};
+use dpr_telemetry::metric_fn;
+use libdpr::DprClientSession;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::io::{BufRead, BufReader, Write as _};
+use std::net::{SocketAddr, TcpListener};
+use std::process::{Child, Command, Stdio};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+metric_fn!(
+    /// Batch round-trip latency observed by the load generator (issue →
+    /// response, across the real socket).
+    fn loadgen_batch_us() -> Histogram =
+        ("dpr_loadgen_batch_us", Micros,
+         "netload batch round-trip latency over real TCP")
+);
+
+metric_fn!(
+    /// Operations completed by the load generator.
+    fn loadgen_ops() -> Counter =
+        ("dpr_loadgen_ops_total", Ops,
+         "Operations completed by the netload generator")
+);
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+#[derive(Clone)]
+struct Config {
+    shards: usize,
+    sessions: usize,
+    threads: usize,
+    window: usize,
+    batch: usize,
+    read_pct: u64,
+    keys_per_shard: u64,
+    duration: Duration,
+}
+
+impl Config {
+    fn from_env() -> Config {
+        let threads = env_u64("DPR_NET_THREADS", 2).max(1) as usize;
+        Config {
+            shards: env_u64("DPR_NET_SHARDS", 8).max(1) as usize,
+            sessions: env_u64("DPR_NET_SESSIONS", 64).max(1) as usize,
+            threads,
+            window: env_u64("DPR_NET_WINDOW", 8).max(1) as usize,
+            batch: env_u64("DPR_NET_BATCH", 8).max(1) as usize,
+            read_pct: env_u64("DPR_NET_READ_PCT", 50).min(100),
+            keys_per_shard: env_u64("DPR_NET_KEYS_PER_SHARD", 10_000).max(1),
+            duration: dpr_bench::point_duration(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Server role (`netload --serve`): one process, all shards, one listener.
+// ---------------------------------------------------------------------------
+
+fn serve() {
+    let cfg = Config::from_env();
+    let cluster = Cluster::start(ClusterConfig {
+        shards: cfg.shards,
+        // External generators have no ownership table; keys are partitioned
+        // client-side (docs/NETWORK.md §7).
+        validate_ownership: false,
+        // Retransmission over real sockets must stay exactly-once.
+        dedupe_window: 4096,
+        checkpoint_interval: Some(Duration::from_millis(50)),
+        finder_interval: Duration::from_millis(5),
+        ..ClusterConfig::default()
+    })
+    .expect("start cluster");
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let server = NetServer::start(
+        cluster.workers().to_vec(),
+        listener,
+        NetServerConfig::default(),
+    )
+    .expect("start net server");
+
+    // The driver parses this line; everything else goes to stderr.
+    println!("LISTEN {}", server.local_addr());
+    std::io::stdout().flush().expect("flush");
+
+    // Serve until the driver says stop (or its pipe closes).
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines() {
+        match line {
+            Ok(l) if l.trim() == "STOP" => break,
+            Ok(_) => {}
+            Err(_) => break,
+        }
+    }
+    server.shutdown();
+    cluster.shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// Driver role: closed-loop sessions against the child server.
+// ---------------------------------------------------------------------------
+
+struct ServerProc {
+    child: Child,
+    addr: SocketAddr,
+}
+
+fn spawn_server() -> ServerProc {
+    let exe = std::env::current_exe().expect("current_exe");
+    let mut child = Command::new(exe)
+        .arg("--serve")
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .expect("spawn --serve child");
+    let stdout = child.stdout.take().expect("child stdout");
+    let mut lines = BufReader::new(stdout).lines();
+    let addr = loop {
+        let line = lines
+            .next()
+            .expect("server exited before LISTEN")
+            .expect("read server stdout");
+        if let Some(rest) = line.strip_prefix("LISTEN ") {
+            break rest.trim().parse().expect("parse LISTEN addr");
+        }
+    };
+    ServerProc { child, addr }
+}
+
+impl ServerProc {
+    fn stop(mut self) {
+        if let Some(stdin) = self.child.stdin.as_mut() {
+            let _ = stdin.write_all(b"STOP\n");
+            let _ = stdin.flush();
+        }
+        drop(self.child.stdin.take());
+        // The child exits on STOP/EOF; a kill here only fires if it wedged.
+        for _ in 0..500 {
+            match self.child.try_wait() {
+                Ok(Some(_)) => return,
+                Ok(None) => std::thread::sleep(Duration::from_millis(10)),
+                Err(_) => break,
+            }
+        }
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+struct Point {
+    target_qps: u64,
+    ops: u64,
+    batches: u64,
+    /// The issue window only — the post-deadline drain and commit-tracking
+    /// grace are excluded from throughput.
+    elapsed: Duration,
+    issued_ops: u64,
+    committed_ops: u64,
+    p50_us: u64,
+    p95_us: u64,
+    p99_us: u64,
+    mean_us: f64,
+}
+
+impl Point {
+    fn ops_per_sec(&self) -> f64 {
+        self.ops as f64 / self.elapsed.as_secs_f64()
+    }
+}
+
+/// One driver thread's slice of the run.
+struct ThreadStats {
+    ops: u64,
+    batches: u64,
+    issued_ops: u64,
+    committed_ops: u64,
+}
+
+#[allow(clippy::too_many_lines)]
+fn drive_thread(
+    tid: usize,
+    point_idx: usize,
+    addr: SocketAddr,
+    target_per_thread: f64,
+    cfg: &Config,
+    hist: &dpr_telemetry::Histogram,
+) -> ThreadStats {
+    let my_sessions = (0..cfg.sessions)
+        .filter(|s| s % cfg.threads == tid)
+        .collect::<Vec<_>>();
+    let mut clients: Vec<PipelinedClient> = my_sessions
+        .iter()
+        .map(|&s| {
+            let id = SessionId((point_idx * cfg.sessions + s + 1) as u64);
+            PipelinedClient::connect(DprClientSession::new(id), addr).expect("connect session")
+        })
+        .collect();
+    let shards: Vec<_> = clients[0].shards().to_vec();
+    let mut rng = StdRng::seed_from_u64(42 + tid as u64);
+
+    let mut stats = ThreadStats {
+        ops: 0,
+        batches: 0,
+        issued_ops: 0,
+        committed_ops: 0,
+    };
+    // Token bucket in ops, refilled continuously, capped at one second of
+    // burst so a sweep stalled behind the server (shared core) can catch
+    // back up to the target rate instead of silently shedding tokens.
+    let mut tokens = 0.0f64;
+    let burst = target_per_thread.max(cfg.batch as f64);
+    let mut last_refill = Instant::now();
+    let started = Instant::now();
+    let deadline = started + cfg.duration;
+    let mut sweep = 0u64;
+
+    loop {
+        let now = Instant::now();
+        if now >= deadline {
+            break;
+        }
+        if target_per_thread > 0.0 {
+            tokens = (tokens + target_per_thread * now.duration_since(last_refill).as_secs_f64())
+                .min(burst);
+            last_refill = now;
+        }
+        for (ci, client) in clients.iter_mut().enumerate() {
+            // Fill this session's window, budget permitting.
+            while client.inflight() < cfg.window
+                && (target_per_thread <= 0.0 || tokens >= cfg.batch as f64)
+            {
+                let shard = shards[(stats.batches as usize + ci) % shards.len()];
+                let ops: Vec<ClusterOp> = (0..cfg.batch)
+                    .map(|_| {
+                        // Client-side partitioning: the shard index tags the
+                        // key's high bits, so a key always hits one shard.
+                        let k = (u64::from(shard.0) << 32) | rng.gen_range(0..cfg.keys_per_shard);
+                        if rng.gen_range(0..100u64) < cfg.read_pct {
+                            ClusterOp::Read(Key::from_u64(k))
+                        } else {
+                            ClusterOp::Upsert(Key::from_u64(k), Value::from_u64(sweep))
+                        }
+                    })
+                    .collect();
+                client.issue(shard, ops).expect("issue batch");
+                stats.batches += 1;
+                stats.issued_ops += cfg.batch as u64;
+                tokens -= cfg.batch as f64;
+            }
+            for done in client.poll(Duration::from_millis(1)).expect("poll") {
+                let results = done.result.expect("batch outcome");
+                hist.record_micros(done.issued_at.elapsed());
+                loadgen_batch_us().record_micros(done.issued_at.elapsed());
+                loadgen_ops().add(results.len() as u64);
+                stats.ops += results.len() as u64;
+            }
+            // Commit tracking rides the same connection, off the hot path.
+            if sweep % 64 == 0 {
+                client.request_cut().expect("request cut");
+            }
+        }
+        sweep += 1;
+    }
+
+    // Drain the windows so every issued batch is accounted for.
+    let grace = Instant::now() + Duration::from_secs(10);
+    while clients.iter().any(|c| c.inflight() > 0) && Instant::now() < grace {
+        for client in &mut clients {
+            for done in client.poll(Duration::from_millis(2)).expect("drain") {
+                let results = done.result.expect("batch outcome");
+                hist.record_micros(done.issued_at.elapsed());
+                loadgen_batch_us().record_micros(done.issued_at.elapsed());
+                loadgen_ops().add(results.len() as u64);
+                stats.ops += results.len() as u64;
+            }
+        }
+    }
+
+    // Let the durable prefix catch up (checkpoints every 50 ms), observed
+    // purely over the wire.
+    let commit_grace = Instant::now() + Duration::from_secs(5);
+    loop {
+        let committed: u64 = clients
+            .iter_mut()
+            .map(|c| c.session_mut().committed_count())
+            .sum();
+        if committed >= stats.ops || Instant::now() >= commit_grace {
+            stats.committed_ops = committed;
+            break;
+        }
+        for client in &mut clients {
+            client.request_cut().expect("request cut");
+            let _ = client.poll(Duration::from_millis(2)).expect("poll cut");
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    stats
+}
+
+fn run_point(point_idx: usize, addr: SocketAddr, target_qps: u64, cfg: &Config) -> Point {
+    let hist = Arc::new(dpr_telemetry::Histogram::new());
+    let stats: Vec<ThreadStats> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..cfg.threads)
+            .map(|tid| {
+                let hist = hist.clone();
+                let target_per_thread = target_qps as f64 / cfg.threads as f64;
+                scope.spawn(move || {
+                    drive_thread(tid, point_idx, addr, target_per_thread, cfg, &hist)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("driver thread"))
+            .collect()
+    });
+    let snap = hist.snapshot();
+    Point {
+        target_qps,
+        ops: stats.iter().map(|s| s.ops).sum(),
+        batches: stats.iter().map(|s| s.batches).sum(),
+        elapsed: cfg.duration,
+        issued_ops: stats.iter().map(|s| s.issued_ops).sum(),
+        committed_ops: stats.iter().map(|s| s.committed_ops).sum(),
+        p50_us: snap.p50(),
+        p95_us: snap.p95(),
+        p99_us: snap.p99(),
+        mean_us: snap.mean(),
+    }
+}
+
+#[allow(clippy::too_many_lines)]
+fn main() {
+    if std::env::args().any(|a| a == "--serve") {
+        serve();
+        return;
+    }
+    let _metrics = dpr_bench::metrics_dump();
+    let cfg = Config::from_env();
+    // 0 = uncapped: the closed-loop saturation point.
+    let targets = env_list("DPR_NET_QPS", &[2_000, 8_000, 0]);
+
+    let server = spawn_server();
+    eprintln!(
+        "netload: {} sessions x {} threads against {} shards at {}",
+        cfg.sessions, cfg.threads, cfg.shards, server.addr
+    );
+
+    let mut points = Vec::new();
+    for (i, &target) in targets.iter().enumerate() {
+        let p = run_point(i, server.addr, target, &cfg);
+        row(
+            "netload",
+            &[
+                ("target_qps", p.target_qps.to_string()),
+                ("ops_per_sec", format!("{:.0}", p.ops_per_sec())),
+                ("batches", p.batches.to_string()),
+                ("issued_ops", p.issued_ops.to_string()),
+                ("completed_ops", p.ops.to_string()),
+                ("committed_ops", p.committed_ops.to_string()),
+                ("p50_us", p.p50_us.to_string()),
+                ("p95_us", p.p95_us.to_string()),
+                ("p99_us", p.p99_us.to_string()),
+                ("mean_us", format!("{:.0}", p.mean_us)),
+            ],
+        );
+        points.push(p);
+    }
+    server.stop();
+
+    let peak = points.iter().map(Point::ops_per_sec).fold(0.0f64, f64::max);
+    row(
+        "netload_summary",
+        &[
+            ("sessions", cfg.sessions.to_string()),
+            ("shards", cfg.shards.to_string()),
+            ("peak_ops_per_sec", format!("{peak:.0}")),
+        ],
+    );
+
+    // JSON report for the checked-in BENCH_net.json.
+    let json_path = std::env::var("DPR_NET_JSON").unwrap_or_else(|_| "BENCH_net.json".to_string());
+    let mut json = String::from("{\n  \"bench\": \"netload\",\n");
+    json.push_str(&format!(
+        "  \"config\": {{\"shards\": {}, \"sessions\": {}, \"driver_threads\": {}, \"window_batches\": {}, \"ops_per_batch\": {}, \"read_pct\": {}, \"point_secs\": {:.2}, \"host_cpus\": {}}},\n",
+        cfg.shards,
+        cfg.sessions,
+        cfg.threads,
+        cfg.window,
+        cfg.batch,
+        cfg.read_pct,
+        cfg.duration.as_secs_f64(),
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+    ));
+    json.push_str("  \"points\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"target_qps\": {}, \"ops_per_sec\": {:.0}, \"batches\": {}, \"issued_ops\": {}, \"completed_ops\": {}, \"committed_ops\": {}, \"p50_us\": {}, \"p95_us\": {}, \"p99_us\": {}, \"mean_us\": {:.0}}}{}\n",
+            p.target_qps,
+            p.ops_per_sec(),
+            p.batches,
+            p.issued_ops,
+            p.ops,
+            p.committed_ops,
+            p.p50_us,
+            p.p95_us,
+            p.p99_us,
+            p.mean_us,
+            if i + 1 == points.len() { "" } else { "," },
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"summary\": {{\"sessions\": {}, \"shards\": {}, \"peak_ops_per_sec\": {peak:.0}}}\n}}\n",
+        cfg.sessions, cfg.shards,
+    ));
+    let mut f = std::fs::File::create(&json_path).expect("create json");
+    f.write_all(json.as_bytes()).expect("write json");
+    eprintln!("wrote {json_path}");
+}

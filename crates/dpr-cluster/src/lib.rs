@@ -10,9 +10,10 @@
 //! membership, recovery state) and the client-piggybacked headers — no
 //! worker-to-worker traffic, as in the paper.
 //!
-//! The network is an in-process message bus with configurable one-way
-//! latency ([`transport`]); swapping it for TCP would not change any
-//! protocol code (see DESIGN.md's substitution notes).
+//! Two network planes serve the same protocol code: the in-process message
+//! bus with configurable one-way latency ([`transport`], for simulation and
+//! chaos testing), and the real TCP plane ([`net`] server, [`tcp`] clients,
+//! [`wire`] codec — specified byte-by-byte in `docs/NETWORK.md`).
 
 #![warn(missing_docs)]
 
@@ -23,9 +24,11 @@ pub mod dredis;
 pub mod manager;
 pub mod message;
 mod metrics;
+pub mod net;
 pub mod proxy;
 pub mod tcp;
 pub mod transport;
+pub mod wire;
 pub mod worker;
 
 pub use client::{SessionHandle, SessionStats};
@@ -34,5 +37,7 @@ pub use dfaster::FasterShard;
 pub use dredis::RedisShard;
 pub use manager::ClusterManager;
 pub use message::{ClusterOp, OpResult};
+pub use net::{NetServer, NetServerConfig};
+pub use tcp::{PipelinedClient, TcpClient};
 pub use transport::{EndpointId, LinkFault, SimNetwork};
 pub use worker::{ShardStore, Worker};

@@ -49,6 +49,44 @@ metric_fn!(
 );
 
 metric_fn!(
+    /// TCP connections currently held by network-plane I/O threads.
+    pub(crate) fn net_conns_active() -> Gauge =
+        ("dpr_net_conns_active", Count,
+         "Open network-plane TCP connections (accepted minus closed)")
+);
+
+metric_fn!(
+    /// Frames sent by the network plane (server side).
+    pub(crate) fn net_frames_tx() -> Counter =
+        ("dpr_net_frames_tx_total", Count,
+         "Wire frames transmitted by the network plane")
+);
+
+metric_fn!(
+    /// Frames received by the network plane (server side).
+    pub(crate) fn net_frames_rx() -> Counter =
+        ("dpr_net_frames_rx_total", Count,
+         "Wire frames received by the network plane")
+);
+
+metric_fn!(
+    /// Encoded size of every frame crossing the network plane, both
+    /// directions (header + body).
+    pub(crate) fn net_frame_bytes() -> Histogram =
+        ("dpr_net_frame_bytes", Bytes,
+         "Encoded wire-frame sizes (header + body, both directions)")
+);
+
+metric_fn!(
+    /// Protocol-level rejections emitted as Error frames (bad magic or
+    /// version, handshake violations, stale epochs, unknown shards,
+    /// duplicate-in-flight).
+    pub(crate) fn net_frame_rejects() -> Counter =
+        ("dpr_net_frame_rejects_total", Count,
+         "Error frames sent for protocol-level rejections")
+);
+
+metric_fn!(
     /// Cluster recoveries completed (§4.1).
     pub(crate) fn recoveries() -> Counter =
         ("dpr_cluster_recoveries_total", Count,

@@ -1,0 +1,499 @@
+//! The real network plane: a non-blocking, multi-worker TCP server.
+//!
+//! One [`NetServer`] hosts *all* of a process's shard workers behind a
+//! single listener. An acceptor thread hands new connections round-robin to
+//! a fixed pool of I/O threads; each I/O thread owns many non-blocking
+//! connections and pumps them in a readiness loop (read → parse frames →
+//! execute → queue responses → flush). Requests are routed to workers by
+//! the frame header's `shard` field, so thousands of client connections
+//! fan in to a handful of threads — replacing the old one-thread-per-
+//! connection blocking stub in [`crate::tcp`].
+//!
+//! Frames on one connection are processed strictly in arrival order and
+//! responses to them are queued in completion order, which for the inline
+//! execution model below means *request order per connection*. Clients
+//! pipeline by writing many `Request` frames before reading any
+//! `Response`; cross-connection order is unspecified.
+//!
+//! The full wire contract (byte layout, handshake, dedupe across
+//! reconnect, failure modes) is specified in `docs/NETWORK.md`.
+
+use crate::metrics;
+use crate::wire::{
+    self, CutResponse, Frame, FrameKind, Hello, HelloAck, ProtoError, ProtoErrorCode, WireRequest,
+    WireResponse,
+};
+use crate::worker::Worker;
+use dpr_core::{DprError, Result, SessionId, ShardId};
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Tuning knobs for a [`NetServer`].
+#[derive(Debug, Clone)]
+pub struct NetServerConfig {
+    /// I/O threads sharing the connection set. The paper's deployment runs
+    /// thread-per-core; default is the host's parallelism capped at 4 so
+    /// test clusters with several in-process servers do not oversubscribe.
+    pub io_threads: usize,
+    /// Socket read chunk size.
+    pub read_chunk: usize,
+}
+
+impl Default for NetServerConfig {
+    fn default() -> Self {
+        let cores = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
+        NetServerConfig {
+            io_threads: cores.min(4),
+            read_chunk: 64 << 10,
+        }
+    }
+}
+
+/// Shared server state consulted by every I/O thread.
+struct ServerCtx {
+    /// Shard-routed workers (`frame.shard` → worker).
+    workers: HashMap<u32, Arc<Worker>>,
+    /// Hosted shards in id order, echoed in every `HelloAck`.
+    shards: Vec<ShardId>,
+    /// Highest epoch accepted per session, for zombie-connection fencing.
+    /// Shared across I/O threads because a reconnect may land elsewhere.
+    epochs: parking_lot::Mutex<HashMap<SessionId, u32>>,
+}
+
+/// One client connection owned by an I/O thread.
+struct Conn {
+    stream: TcpStream,
+    /// Received-but-unparsed bytes.
+    rd: Vec<u8>,
+    /// Encoded-but-unsent bytes (`wr[wr_pos..]` is pending).
+    wr: Vec<u8>,
+    wr_pos: usize,
+    /// Set by a successful `Hello`.
+    session: Option<(SessionId, u32)>,
+    open: bool,
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> Conn {
+        Conn {
+            stream,
+            rd: Vec::new(),
+            wr: Vec::new(),
+            wr_pos: 0,
+            session: None,
+            open: true,
+        }
+    }
+
+    /// Queue an outbound frame (recorded as transmitted once encoded; the
+    /// flush loop below drains the buffer as the socket allows).
+    fn queue(&mut self, frame: &Frame) {
+        metrics::net_frames_tx().inc();
+        metrics::net_frame_bytes().record(frame.encoded_len() as u64);
+        frame.encode_into(&mut self.wr);
+    }
+
+    /// Write pending bytes without blocking. Returns whether progress was
+    /// made. Closes the connection on a hard error.
+    fn flush(&mut self) -> bool {
+        let mut progressed = false;
+        while self.wr_pos < self.wr.len() {
+            match self.stream.write(&self.wr[self.wr_pos..]) {
+                Ok(0) => {
+                    self.open = false;
+                    break;
+                }
+                Ok(n) => {
+                    self.wr_pos += n;
+                    progressed = true;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(_) => {
+                    self.open = false;
+                    break;
+                }
+            }
+        }
+        if self.wr_pos == self.wr.len() && self.wr_pos > 0 {
+            self.wr.clear();
+            self.wr_pos = 0;
+        } else if self.wr_pos > 64 << 10 {
+            // Reclaim the sent prefix of a long-lived backlog.
+            self.wr.drain(..self.wr_pos);
+            self.wr_pos = 0;
+        }
+        progressed
+    }
+
+    /// Read whatever the socket has ready. Returns whether bytes arrived.
+    fn fill(&mut self, chunk: usize, scratch: &mut Vec<u8>) -> bool {
+        let mut progressed = false;
+        loop {
+            scratch.resize(chunk, 0);
+            match self.stream.read(scratch) {
+                Ok(0) => {
+                    // EOF: peer closed. Remaining parsed frames still get
+                    // handled; a dangling partial frame is simply dropped
+                    // (the truncation is the peer's, not ours to answer).
+                    self.open = false;
+                    break;
+                }
+                Ok(n) => {
+                    self.rd.extend_from_slice(&scratch[..n]);
+                    progressed = true;
+                    if n < chunk {
+                        break;
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(_) => {
+                    self.open = false;
+                    break;
+                }
+            }
+        }
+        progressed
+    }
+
+    /// Send a protocol error; close the connection unless the code is
+    /// recoverable.
+    fn proto_error(&mut self, code: ProtoErrorCode, seq: u64, detail: impl Into<String>) {
+        metrics::net_frame_rejects().inc();
+        let frame = ProtoError {
+            code,
+            detail: detail.into(),
+        }
+        .to_frame(seq);
+        self.queue(&frame);
+        if !code.recoverable() {
+            self.open = false;
+        }
+    }
+}
+
+/// Parse and handle every complete frame in `conn.rd`. Returns whether any
+/// frame was handled.
+fn drain_frames(conn: &mut Conn, ctx: &ServerCtx) -> bool {
+    let mut consumed = 0usize;
+    let mut progressed = false;
+    loop {
+        match wire::decode_frame(&conn.rd[consumed..]) {
+            Ok(None) => break,
+            Ok(Some((frame, used))) => {
+                consumed += used;
+                progressed = true;
+                metrics::net_frames_rx().inc();
+                metrics::net_frame_bytes().record(used as u64);
+                handle_frame(conn, &frame, ctx);
+                if !conn.open {
+                    break;
+                }
+            }
+            Err(e) => {
+                // Malformed header: the stream cannot be resynchronised.
+                conn.proto_error(ProtoErrorCode::BadFrame, 0, e.to_string());
+                break;
+            }
+        }
+    }
+    if consumed > 0 {
+        conn.rd.drain(..consumed);
+    }
+    progressed
+}
+
+fn handle_frame(conn: &mut Conn, frame: &Frame, ctx: &ServerCtx) {
+    match frame.kind {
+        FrameKind::Hello => {
+            let hello = match Hello::from_frame(frame) {
+                Ok(h) => h,
+                Err(e) => {
+                    conn.proto_error(ProtoErrorCode::BadFrame, frame.seq, e.to_string());
+                    return;
+                }
+            };
+            {
+                let mut epochs = ctx.epochs.lock();
+                let latest = epochs.entry(hello.session).or_insert(0);
+                if hello.epoch < *latest {
+                    conn.proto_error(
+                        ProtoErrorCode::StaleEpoch,
+                        frame.seq,
+                        format!("epoch {} < accepted {}", hello.epoch, *latest),
+                    );
+                    return;
+                }
+                *latest = hello.epoch;
+            }
+            conn.session = Some((hello.session, hello.epoch));
+            let world_line = ctx
+                .workers
+                .values()
+                .next()
+                .map(|w| w.world_line())
+                .unwrap_or(hello.world_line);
+            let ack = HelloAck {
+                epoch: hello.epoch,
+                world_line,
+                shards: ctx.shards.clone(),
+            };
+            conn.queue(&ack.to_frame());
+        }
+        FrameKind::Request => {
+            if conn.session.is_none() {
+                conn.proto_error(
+                    ProtoErrorCode::HandshakeRequired,
+                    frame.seq,
+                    "Request before Hello",
+                );
+                return;
+            }
+            let Some(worker) = ctx.workers.get(&frame.shard) else {
+                conn.proto_error(
+                    ProtoErrorCode::UnknownShard,
+                    frame.seq,
+                    format!("shard {} not hosted here", frame.shard),
+                );
+                return;
+            };
+            let req = match WireRequest::from_frame(frame) {
+                Ok(r) => r,
+                Err(e) => {
+                    conn.proto_error(ProtoErrorCode::BadFrame, frame.seq, e.to_string());
+                    return;
+                }
+            };
+            let outcome = if worker.dedupe_enabled() {
+                match worker.dedupe_check(&req.header) {
+                    // First delivery still executing (its connection died
+                    // mid-batch, or raced this one): the client retries.
+                    Some(None) => {
+                        conn.proto_error(
+                            ProtoErrorCode::DuplicateInFlight,
+                            frame.seq,
+                            "batch already executing",
+                        );
+                        return;
+                    }
+                    Some(Some(cached)) => Ok(cached),
+                    None => {
+                        let outcome = worker.execute_local(&req.header, &req.ops);
+                        worker.dedupe_record(&req.header, &outcome);
+                        outcome
+                    }
+                }
+            } else {
+                worker.execute_local(&req.header, &req.ops)
+            };
+            let resp = WireResponse { outcome };
+            conn.queue(&resp.to_frame(frame.shard, frame.seq));
+        }
+        FrameKind::CutReq => {
+            let outcome = ctx
+                .workers
+                .values()
+                .next()
+                .ok_or(DprError::Closed)
+                .and_then(|w| w.read_cut());
+            match outcome {
+                Ok((world_line, cut)) => {
+                    let resp = CutResponse { world_line, cut };
+                    conn.queue(&resp.to_frame(frame.seq));
+                }
+                Err(e) => {
+                    conn.proto_error(ProtoErrorCode::BadFrame, frame.seq, e.to_string());
+                }
+            }
+        }
+        FrameKind::Goodbye => {
+            conn.open = false;
+        }
+        // Server-emitted kinds arriving at the server are violations.
+        FrameKind::HelloAck | FrameKind::Response | FrameKind::CutResp | FrameKind::Error => {
+            conn.proto_error(
+                ProtoErrorCode::BadFrame,
+                frame.seq,
+                format!("client sent server-only frame {:?}", frame.kind),
+            );
+        }
+    }
+}
+
+fn io_loop(
+    rx: &crossbeam::channel::Receiver<TcpStream>,
+    ctx: &Arc<ServerCtx>,
+    stop: &Arc<AtomicBool>,
+    cfg: &NetServerConfig,
+) {
+    let mut conns: Vec<Conn> = Vec::new();
+    let mut scratch = Vec::new();
+    let mut backoff = dpr_core::Backoff::new();
+    loop {
+        let mut progressed = false;
+        // Fan-in: adopt connections the acceptor has assigned to us.
+        while let Ok(stream) = rx.try_recv() {
+            stream.set_nonblocking(true).ok();
+            stream.set_nodelay(true).ok();
+            conns.push(Conn::new(stream));
+            metrics::net_conns_active().add(1);
+            progressed = true;
+        }
+        if stop.load(Ordering::Acquire) {
+            // Clean shutdown: tell every peer, best-effort flush, exit.
+            for conn in &mut conns {
+                let bye = wire::control_frame(FrameKind::Goodbye, 0);
+                conn.queue(&bye);
+                conn.flush();
+            }
+            metrics::net_conns_active().sub(conns.len() as i64);
+            return;
+        }
+        for conn in &mut conns {
+            progressed |= conn.fill(cfg.read_chunk, &mut scratch);
+            progressed |= drain_frames(conn, ctx);
+            progressed |= conn.flush();
+        }
+        let before = conns.len();
+        conns.retain(|c| c.open || c.wr_pos < c.wr.len());
+        metrics::net_conns_active().sub((before - conns.len()) as i64);
+        if progressed {
+            backoff.reset();
+        } else {
+            backoff.snooze();
+        }
+    }
+}
+
+/// A running network-plane server. Dropping it without calling
+/// [`NetServer::shutdown`] stops the threads but does not join them.
+pub struct NetServer {
+    stop: Arc<AtomicBool>,
+    local_addr: SocketAddr,
+    accept: Option<std::thread::JoinHandle<()>>,
+    io: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl NetServer {
+    /// Serve `workers` on `listener` until [`NetServer::shutdown`].
+    ///
+    /// Every worker is reachable through the one listener; requests route
+    /// by the frame header's `shard` field.
+    pub fn start(
+        workers: Vec<Arc<Worker>>,
+        listener: TcpListener,
+        config: NetServerConfig,
+    ) -> Result<NetServer> {
+        Self::start_with_stop(workers, listener, config, Arc::new(AtomicBool::new(false)))
+    }
+
+    /// [`NetServer::start`] with an externally owned stop flag (the
+    /// [`crate::tcp::serve_worker`] compatibility shim shares one flag
+    /// across several servers).
+    pub fn start_with_stop(
+        workers: Vec<Arc<Worker>>,
+        listener: TcpListener,
+        config: NetServerConfig,
+        stop: Arc<AtomicBool>,
+    ) -> Result<NetServer> {
+        if workers.is_empty() {
+            return Err(DprError::Invalid(
+                "NetServer needs at least one worker".into(),
+            ));
+        }
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+        let mut shards: Vec<ShardId> = workers.iter().map(|w| w.shard()).collect();
+        shards.sort_unstable();
+        let ctx = Arc::new(ServerCtx {
+            workers: workers.into_iter().map(|w| (w.shard().0, w)).collect(),
+            shards,
+            epochs: parking_lot::Mutex::new(HashMap::new()),
+        });
+        let io_threads = config.io_threads.max(1);
+        let mut senders = Vec::with_capacity(io_threads);
+        let mut io = Vec::with_capacity(io_threads);
+        for i in 0..io_threads {
+            let (tx, rx) = crossbeam::channel::unbounded::<TcpStream>();
+            senders.push(tx);
+            let ctx = ctx.clone();
+            let stop = stop.clone();
+            let cfg = config.clone();
+            io.push(
+                std::thread::Builder::new()
+                    .name(format!("dpr-net-io-{i}"))
+                    .spawn(move || io_loop(&rx, &ctx, &stop, &cfg))
+                    .expect("spawn net io thread"),
+            );
+        }
+        let accept = {
+            let stop = stop.clone();
+            std::thread::Builder::new()
+                .name("dpr-net-accept".into())
+                .spawn(move || {
+                    let mut next = 0usize;
+                    loop {
+                        if stop.load(Ordering::Acquire) {
+                            return;
+                        }
+                        match listener.accept() {
+                            Ok((stream, _)) => {
+                                // Round-robin fan-out to the I/O pool.
+                                let _ = senders[next % senders.len()].send(stream);
+                                next = next.wrapping_add(1);
+                            }
+                            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                                std::thread::sleep(Duration::from_millis(1));
+                            }
+                            // Listener gone (closed or errored): stop the
+                            // whole server rather than leaking a dead
+                            // acceptor — I/O threads observe the flag too.
+                            Err(_) => {
+                                stop.store(true, Ordering::Release);
+                                return;
+                            }
+                        }
+                    }
+                })
+                .expect("spawn net accept thread")
+        };
+        Ok(NetServer {
+            stop,
+            local_addr,
+            accept: Some(accept),
+            io,
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Signal shutdown and join every thread: the acceptor, then each I/O
+    /// thread after it has sent `Goodbye` to its connections. No detached
+    /// threads survive.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        for h in self.io.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for NetServer {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+    }
+}

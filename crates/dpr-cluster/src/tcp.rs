@@ -1,141 +1,254 @@
-//! A real TCP serving layer for workers.
+//! TCP clients for the real network plane, plus the single-worker serving
+//! shim kept for compatibility.
 //!
-//! DESIGN.md claims the in-process bus could be swapped for TCP without
-//! touching protocol code — this module proves it: a worker accepts framed
-//! `(BatchHeader, ops)` requests on a socket and serves them through the
-//! exact same [`Worker::execute_local`] path the bus uses, and a thin
-//! client drives a [`libdpr::DprClientSession`] over the wire.
+//! The server side lives in [`crate::net`] (non-blocking fan-in
+//! [`NetServer`]); the byte-level contract lives in [`crate::wire`] and is
+//! specified in `docs/NETWORK.md`. This module provides the two client
+//! shapes:
 //!
-//! Framing: 4-byte little-endian length prefix + JSON body. JSON keeps the
-//! wire format debuggable; swapping in a binary codec would be a local
-//! change here.
+//! * [`TcpClient`] — synchronous request/response, one batch at a time,
+//!   with a configurable read deadline. The simplest correct client; used
+//!   by the integration tests and as the worked example in the docs.
+//! * [`PipelinedClient`] — one connection, many batches in flight
+//!   (windowing is the caller's policy), duplicate-safe retransmission and
+//!   reconnect-with-epoch-bump. This is the client the `netload` generator
+//!   drives.
 
 use crate::message::{ClusterOp, OpResult};
+use crate::net::{NetServer, NetServerConfig};
+use crate::wire::{
+    self, CutResponse, Frame, FrameKind, Hello, HelloAck, ProtoError, ProtoErrorCode,
+};
 use crate::worker::Worker;
-use dpr_core::{DprError, Result, ShardId};
-use libdpr::{BatchHeader, BatchReply, DprClientSession};
-use serde::{Deserialize, Serialize};
+use dpr_core::{DprError, Result, ShardId, WorldLine};
+use libdpr::{BatchHeader, DprClientSession};
 use std::collections::HashMap;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
-/// One request over the wire.
-#[derive(Debug, Serialize, Deserialize)]
-pub struct WireRequest {
-    /// DPR header.
-    pub header: BatchHeader,
-    /// Operation bodies.
-    pub ops: Vec<ClusterOp>,
-}
+pub use crate::wire::{WireRequest, WireResponse};
 
-/// One response over the wire.
-#[derive(Debug, Serialize, Deserialize)]
-pub struct WireResponse {
-    /// The reply and results, or the protocol rejection.
-    pub outcome: std::result::Result<(BatchReply, Vec<OpResult>), DprError>,
-}
+/// Default read deadline for synchronous calls: long enough for a worker
+/// mid-checkpoint, short enough that a hung worker surfaces as a typed
+/// [`DprError::Timeout`] instead of blocking the client forever.
+pub const DEFAULT_READ_TIMEOUT: Duration = Duration::from_secs(10);
 
-fn write_frame<T: Serialize>(stream: &mut TcpStream, value: &T) -> Result<()> {
-    let body = serde_json::to_vec(value).map_err(|e| DprError::Invalid(format!("encode: {e}")))?;
-    stream.write_all(&(body.len() as u32).to_le_bytes())?;
-    stream.write_all(&body)?;
-    Ok(())
-}
-
-fn read_frame<T: for<'de> Deserialize<'de>>(stream: &mut TcpStream) -> Result<Option<T>> {
-    let mut len = [0u8; 4];
-    match stream.read_exact(&mut len) {
-        Ok(()) => {}
-        Err(e)
-            if e.kind() == std::io::ErrorKind::UnexpectedEof
-                || e.kind() == std::io::ErrorKind::ConnectionReset =>
-        {
-            return Ok(None)
-        }
-        Err(e) => return Err(e.into()),
-    }
-    let len = u32::from_le_bytes(len) as usize;
-    if len > 64 << 20 {
-        return Err(DprError::Invalid(format!("oversized frame: {len}")));
-    }
-    let mut body = vec![0u8; len];
-    stream.read_exact(&mut body)?;
-    let value =
-        serde_json::from_slice(&body).map_err(|e| DprError::Invalid(format!("decode: {e}")))?;
-    Ok(Some(value))
-}
-
-/// Serve `worker` on `listener` until `stop` is set. One thread per
-/// connection; each connection is a sequential request/response stream
-/// (clients pipeline by opening several connections).
+/// Serve one `worker` on `listener` until `stop` is set.
+///
+/// Compatibility shim over [`NetServer`]: the returned handle joins the
+/// server's acceptor and I/O threads before finishing, so — unlike the old
+/// blocking stub — setting `stop` and joining the handle leaks nothing,
+/// and closing the listener (from the OS side) also winds the server down.
 pub fn serve_worker(
     worker: Arc<Worker>,
     listener: TcpListener,
     stop: Arc<AtomicBool>,
 ) -> std::thread::JoinHandle<()> {
-    listener
-        .set_nonblocking(true)
-        .expect("nonblocking listener");
+    let name = format!("tcp-worker-{}", worker.shard().0);
     std::thread::Builder::new()
-        .name(format!("tcp-worker-{}", worker.shard().0))
+        .name(name)
         .spawn(move || {
-            loop {
-                if stop.load(Ordering::Acquire) {
-                    break;
-                }
-                match listener.accept() {
-                    Ok((stream, _)) => {
-                        stream.set_nonblocking(false).ok();
-                        let worker = worker.clone();
-                        let stop = stop.clone();
-                        // Detached: a handler exits when its client
-                        // disconnects (EOF) or after the next request once
-                        // `stop` is set — never joined, so shutdown cannot
-                        // deadlock on a client that is still connected.
-                        std::thread::spawn(move || {
-                            let mut stream = stream;
-                            while !stop.load(Ordering::Acquire) {
-                                let req: WireRequest = match read_frame(&mut stream) {
-                                    Ok(Some(r)) => r,
-                                    Ok(None) | Err(_) => break,
-                                };
-                                let outcome = worker.execute_local(&req.header, &req.ops);
-                                if write_frame(&mut stream, &WireResponse { outcome }).is_err() {
-                                    break;
-                                }
-                            }
-                        });
+            let cfg = NetServerConfig {
+                io_threads: 1,
+                ..NetServerConfig::default()
+            };
+            match NetServer::start_with_stop(vec![worker], listener, cfg, stop.clone()) {
+                Ok(server) => {
+                    while !stop.load(Ordering::Acquire) {
+                        std::thread::sleep(Duration::from_millis(2));
                     }
-                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                        std::thread::sleep(std::time::Duration::from_millis(5));
-                    }
-                    Err(_) => break,
+                    server.shutdown();
                 }
+                Err(_) => stop.store(true, Ordering::Release),
             }
         })
         .expect("spawn tcp server")
 }
 
-/// A blocking TCP client multiplexing one [`DprClientSession`] over
-/// per-shard connections.
+/// One framed connection with a receive buffer.
+struct FramedConn {
+    addr: SocketAddr,
+    stream: TcpStream,
+    rd: Vec<u8>,
+    next_seq: u64,
+}
+
+impl FramedConn {
+    fn dial(addr: SocketAddr) -> Result<FramedConn> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        Ok(FramedConn {
+            addr,
+            stream,
+            rd: Vec::new(),
+            next_seq: 1,
+        })
+    }
+
+    fn send(&mut self, frame: &Frame) -> Result<()> {
+        let mut buf = Vec::with_capacity(frame.encoded_len());
+        frame.encode_into(&mut buf);
+        self.stream.write_all(&buf)?;
+        Ok(())
+    }
+
+    /// Pop the next complete frame from the buffer, if any.
+    fn pop_frame(&mut self) -> Result<Option<Frame>> {
+        match wire::decode_frame(&self.rd)? {
+            Some((frame, used)) => {
+                self.rd.drain(..used);
+                Ok(Some(frame))
+            }
+            None => Ok(None),
+        }
+    }
+
+    /// Blocking frame read with a deadline. [`DprError::Timeout`] once the
+    /// deadline passes without a complete frame.
+    fn recv_deadline(&mut self, deadline: Instant) -> Result<Frame> {
+        loop {
+            if let Some(frame) = self.pop_frame()? {
+                return Ok(frame);
+            }
+            let remaining = deadline
+                .checked_duration_since(Instant::now())
+                .ok_or(DprError::Timeout)?;
+            self.stream
+                .set_read_timeout(Some(remaining.max(Duration::from_millis(1))))?;
+            let mut chunk = [0u8; 16 << 10];
+            match self.stream.read(&mut chunk) {
+                Ok(0) => return Err(DprError::Closed),
+                Ok(n) => self.rd.extend_from_slice(&chunk[..n]),
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut => {}
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e.into()),
+            }
+        }
+    }
+
+    /// Read whatever is available without exceeding `wait`.
+    fn recv_available(&mut self, wait: Duration) -> Result<()> {
+        self.stream
+            .set_read_timeout(Some(wait.max(Duration::from_millis(1))))?;
+        let mut chunk = [0u8; 64 << 10];
+        match self.stream.read(&mut chunk) {
+            Ok(0) => return Err(DprError::Closed),
+            Ok(n) => {
+                self.rd.extend_from_slice(&chunk[..n]);
+                // Drain the rest of the ready bytes without waiting again.
+                self.stream.set_read_timeout(None)?;
+                self.stream.set_nonblocking(true)?;
+                loop {
+                    match self.stream.read(&mut chunk) {
+                        Ok(0) => break,
+                        Ok(n) => self.rd.extend_from_slice(&chunk[..n]),
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                        Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                        Err(e) => {
+                            self.stream.set_nonblocking(false)?;
+                            return Err(e.into());
+                        }
+                    }
+                }
+                self.stream.set_nonblocking(false)?;
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut => {}
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e.into()),
+        }
+        Ok(())
+    }
+
+    /// Run the handshake on a fresh connection.
+    fn handshake(
+        &mut self,
+        session: &DprClientSession,
+        epoch: u32,
+        deadline: Instant,
+    ) -> Result<HelloAck> {
+        let hello = Hello {
+            session: session.id(),
+            epoch,
+            world_line: session.world_line(),
+        };
+        self.send(&hello.to_frame())?;
+        let frame = self.recv_deadline(deadline)?;
+        match frame.kind {
+            FrameKind::HelloAck => {
+                let ack = HelloAck::from_frame(&frame)?;
+                if ack.epoch != epoch {
+                    return Err(DprError::Invalid(format!(
+                        "handshake echoed epoch {} != {epoch}",
+                        ack.epoch
+                    )));
+                }
+                Ok(ack)
+            }
+            FrameKind::Error => Err(ProtoError::from_frame(&frame)?.to_dpr_error()),
+            k => Err(DprError::Invalid(format!("expected HelloAck, got {k:?}"))),
+        }
+    }
+}
+
+/// A synchronous TCP client multiplexing one [`DprClientSession`] over the
+/// network plane: one connection per distinct server address, one batch in
+/// flight at a time.
 pub struct TcpClient {
     session: DprClientSession,
-    conns: HashMap<ShardId, TcpStream>,
+    epoch: u32,
+    read_timeout: Duration,
+    /// Distinct server connections.
+    conns: Vec<FramedConn>,
+    /// Shard → index into `conns`.
+    routes: HashMap<ShardId, usize>,
 }
 
 impl TcpClient {
-    /// Connect to each shard's server.
+    /// Connect to each shard's server and run the session handshake.
+    /// Shards sharing an address share one connection (the fan-in server
+    /// hosts many shards behind one listener).
     pub fn connect(
         session: DprClientSession,
         addrs: &HashMap<ShardId, SocketAddr>,
     ) -> Result<TcpClient> {
-        let mut conns = HashMap::new();
-        for (&shard, addr) in addrs {
-            conns.insert(shard, TcpStream::connect(addr)?);
+        let mut client = TcpClient {
+            session,
+            epoch: 1,
+            read_timeout: DEFAULT_READ_TIMEOUT,
+            conns: Vec::new(),
+            routes: HashMap::new(),
+        };
+        let deadline = Instant::now() + client.read_timeout;
+        let mut by_addr: HashMap<SocketAddr, usize> = HashMap::new();
+        for (&shard, &addr) in addrs {
+            let idx = match by_addr.get(&addr) {
+                Some(&idx) => idx,
+                None => {
+                    let mut conn = FramedConn::dial(addr)?;
+                    conn.handshake(&client.session, client.epoch, deadline)?;
+                    client.conns.push(conn);
+                    let idx = client.conns.len() - 1;
+                    by_addr.insert(addr, idx);
+                    idx
+                }
+            };
+            client.routes.insert(shard, idx);
         }
-        Ok(TcpClient { session, conns })
+        Ok(client)
+    }
+
+    /// Replace the read deadline applied to every synchronous call
+    /// (default [`DEFAULT_READ_TIMEOUT`]). A hung worker then surfaces as
+    /// [`DprError::Timeout`] instead of blocking forever.
+    pub fn set_read_timeout(&mut self, timeout: Duration) {
+        self.read_timeout = timeout;
     }
 
     /// The underlying DPR session (commit tracking, failure handling).
@@ -143,18 +256,342 @@ impl TcpClient {
         &mut self.session
     }
 
+    /// Tear down every connection and dial again with a bumped epoch —
+    /// the reconnect path after a network failure or server restart.
+    /// In-flight state is per-call in this client, so nothing is replayed.
+    pub fn reconnect(&mut self) -> Result<()> {
+        self.epoch += 1;
+        let deadline = Instant::now() + self.read_timeout;
+        for conn in &mut self.conns {
+            let mut fresh = FramedConn::dial(conn.addr)?;
+            fresh.handshake(&self.session, self.epoch, deadline)?;
+            fresh.next_seq = conn.next_seq;
+            *conn = fresh;
+        }
+        Ok(())
+    }
+
+    fn conn_for(&mut self, shard: ShardId) -> Result<&mut FramedConn> {
+        let idx = *self
+            .routes
+            .get(&shard)
+            .ok_or_else(|| DprError::Invalid(format!("no connection to {shard}")))?;
+        Ok(&mut self.conns[idx])
+    }
+
     /// Execute a batch on `shard` synchronously over the wire.
+    ///
+    /// Returns [`DprError::Timeout`] if no response arrives within the
+    /// configured read deadline; the connection is then left with the
+    /// orphaned response still pending, so callers should
+    /// [`TcpClient::reconnect`] before reusing the session.
     pub fn execute(&mut self, shard: ShardId, ops: Vec<ClusterOp>) -> Result<Vec<OpResult>> {
         let header = self.session.begin_batch(shard, ops.len() as u32)?;
-        let stream = self
+        let deadline = Instant::now() + self.read_timeout;
+        let conn = self.conn_for(shard)?;
+        let seq = conn.next_seq;
+        conn.next_seq += 1;
+        let req = WireRequest { header, ops };
+        conn.send(&req.to_frame(shard, seq))?;
+        loop {
+            let frame = conn.recv_deadline(deadline)?;
+            match frame.kind {
+                FrameKind::Response if frame.seq == seq => {
+                    let resp = WireResponse::from_frame(&frame)?;
+                    let (reply, results) = resp.outcome?;
+                    self.session.process_reply(&reply)?;
+                    return Ok(results);
+                }
+                // A stale response (e.g. from before a timeout) — skip.
+                FrameKind::Response => {}
+                FrameKind::Error => {
+                    return Err(ProtoError::from_frame(&frame)?.to_dpr_error());
+                }
+                FrameKind::Goodbye => return Err(DprError::Closed),
+                k => {
+                    return Err(DprError::Invalid(format!(
+                        "unexpected frame {k:?} awaiting response"
+                    )))
+                }
+            }
+        }
+    }
+
+    /// Fetch the DPR cut over the wire and advance this session's
+    /// committed prefix, returning the new prefix length.
+    ///
+    /// Mirrors `SessionHandle::refresh_commit_safe`: the cut is applied
+    /// only while the server is still on this session's world-line.
+    pub fn refresh_commit_over_wire(&mut self) -> Result<u64> {
+        let deadline = Instant::now() + self.read_timeout;
+        let conn = self
             .conns
-            .get_mut(&shard)
-            .ok_or_else(|| DprError::Invalid(format!("no connection to {shard}")))?;
-        write_frame(stream, &WireRequest { header, ops })?;
-        let resp: WireResponse = read_frame(stream)?
-            .ok_or_else(|| DprError::Invalid("server closed connection".into()))?;
-        let (reply, results) = resp.outcome?;
-        self.session.process_reply(&reply)?;
-        Ok(results)
+            .first_mut()
+            .ok_or_else(|| DprError::Invalid("client has no connections".into()))?;
+        let seq = conn.next_seq;
+        conn.next_seq += 1;
+        let mut req = wire::control_frame(FrameKind::CutReq, seq);
+        req.shard = wire::NO_SHARD;
+        conn.send(&req)?;
+        loop {
+            let frame = conn.recv_deadline(deadline)?;
+            match frame.kind {
+                FrameKind::CutResp if frame.seq == seq => {
+                    let resp = CutResponse::from_frame(&frame)?;
+                    let mine = self.session.world_line();
+                    if resp.world_line != mine {
+                        return Err(DprError::WorldLineMismatch {
+                            requested: mine,
+                            current: resp.world_line,
+                        });
+                    }
+                    return Ok(self.session.refresh_commit(&resp.cut));
+                }
+                FrameKind::Response | FrameKind::CutResp => {}
+                FrameKind::Error => {
+                    return Err(ProtoError::from_frame(&frame)?.to_dpr_error());
+                }
+                FrameKind::Goodbye => return Err(DprError::Closed),
+                k => {
+                    return Err(DprError::Invalid(format!(
+                        "unexpected frame {k:?} awaiting cut"
+                    )))
+                }
+            }
+        }
+    }
+}
+
+/// One batch awaiting its response on a [`PipelinedClient`].
+struct InflightBatch {
+    shard: ShardId,
+    header: BatchHeader,
+    ops: Vec<ClusterOp>,
+    issued_at: Instant,
+    sent_at: Instant,
+}
+
+/// A completed batch surfaced by [`PipelinedClient::poll`].
+pub struct Completed {
+    /// The wire sequence number (as returned by [`PipelinedClient::issue`]).
+    pub seq: u64,
+    /// Serial of the first op in the batch.
+    pub first_serial: u64,
+    /// When the batch was first issued (for latency accounting).
+    pub issued_at: Instant,
+    /// Per-op results, or the batch's rejection.
+    pub result: Result<Vec<OpResult>>,
+}
+
+/// A pipelined client session over one connection to a fan-in server: many
+/// batches in flight, explicit polling, duplicate-safe retransmission, and
+/// reconnect with an epoch bump. The windowing policy (how many batches to
+/// keep in flight) belongs to the caller — typically the `netload`
+/// closed-loop generator.
+pub struct PipelinedClient {
+    session: DprClientSession,
+    epoch: u32,
+    conn: FramedConn,
+    /// Shards reachable through this connection (from the handshake).
+    shards: Vec<ShardId>,
+    inflight: HashMap<u64, InflightBatch>,
+    /// World-line mismatch observed but not yet surfaced via poll.
+    world_line_failure: Option<WorldLine>,
+}
+
+impl PipelinedClient {
+    /// Dial `addr` and run the session handshake.
+    pub fn connect(session: DprClientSession, addr: SocketAddr) -> Result<PipelinedClient> {
+        let mut conn = FramedConn::dial(addr)?;
+        let ack = conn.handshake(&session, 1, Instant::now() + DEFAULT_READ_TIMEOUT)?;
+        Ok(PipelinedClient {
+            session,
+            epoch: 1,
+            conn,
+            shards: ack.shards,
+            inflight: HashMap::new(),
+            world_line_failure: None,
+        })
+    }
+
+    /// Shards the server advertised in its handshake.
+    #[must_use]
+    pub fn shards(&self) -> &[ShardId] {
+        &self.shards
+    }
+
+    /// The underlying DPR session.
+    pub fn session_mut(&mut self) -> &mut DprClientSession {
+        &mut self.session
+    }
+
+    /// Batches issued but not yet completed.
+    #[must_use]
+    pub fn inflight(&self) -> usize {
+        self.inflight.len()
+    }
+
+    /// Issue one batch without waiting; returns its wire sequence number.
+    pub fn issue(&mut self, shard: ShardId, ops: Vec<ClusterOp>) -> Result<u64> {
+        let header = self.session.begin_batch(shard, ops.len() as u32)?;
+        let seq = self.conn.next_seq;
+        self.conn.next_seq += 1;
+        let req = WireRequest {
+            header: header.clone(),
+            ops: ops.clone(),
+        };
+        self.conn.send(&req.to_frame(shard, seq))?;
+        let now = Instant::now();
+        self.inflight.insert(
+            seq,
+            InflightBatch {
+                shard,
+                header,
+                ops,
+                issued_at: now,
+                sent_at: now,
+            },
+        );
+        Ok(seq)
+    }
+
+    /// Fire-and-forget cut query; the answer is applied to the session's
+    /// committed prefix inside [`PipelinedClient::poll`] when it arrives.
+    pub fn request_cut(&mut self) -> Result<()> {
+        let seq = self.conn.next_seq;
+        self.conn.next_seq += 1;
+        self.conn.send(&wire::control_frame(FrameKind::CutReq, seq))
+    }
+
+    /// Drain ready responses, waiting up to `wait` for bytes to arrive.
+    ///
+    /// Returns completed batches (order of completion). A world-line
+    /// mismatch — the cluster failed and recovered underneath us — is
+    /// surfaced as [`DprError::WorldLineMismatch`] *after* the completions
+    /// that preceded it have been returned by earlier calls.
+    pub fn poll(&mut self, wait: Duration) -> Result<Vec<Completed>> {
+        self.conn.recv_available(wait)?;
+        let mut out = Vec::new();
+        while let Some(frame) = self.conn.pop_frame()? {
+            match frame.kind {
+                FrameKind::Response => {
+                    let Some(batch) = self.inflight.remove(&frame.seq) else {
+                        continue; // response to a superseded transmission
+                    };
+                    let resp = WireResponse::from_frame(&frame)?;
+                    let result = match resp.outcome {
+                        Ok((reply, results)) => match self.session.process_reply(&reply) {
+                            Ok(()) => Ok(results),
+                            Err(DprError::WorldLineMismatch { current, .. }) => {
+                                self.world_line_failure = Some(current);
+                                Err(DprError::WorldLineMismatch {
+                                    requested: batch.header.world_line,
+                                    current,
+                                })
+                            }
+                            Err(e) => Err(e),
+                        },
+                        Err(e) => {
+                            if let DprError::WorldLineMismatch { current, .. } = e {
+                                self.world_line_failure = Some(current);
+                            }
+                            Err(e)
+                        }
+                    };
+                    out.push(Completed {
+                        seq: frame.seq,
+                        first_serial: batch.header.first_serial,
+                        issued_at: batch.issued_at,
+                        result,
+                    });
+                }
+                FrameKind::CutResp => {
+                    let resp = CutResponse::from_frame(&frame)?;
+                    if resp.world_line == self.session.world_line() {
+                        self.session.refresh_commit(&resp.cut);
+                    }
+                }
+                FrameKind::Error => {
+                    let err = ProtoError::from_frame(&frame)?;
+                    match err.code {
+                        // Retryable: the batch stays in flight and will be
+                        // retransmitted by `retransmit_stalled`.
+                        ProtoErrorCode::DuplicateInFlight => {}
+                        _ => return Err(err.to_dpr_error()),
+                    }
+                }
+                FrameKind::Goodbye => return Err(DprError::Closed),
+                k => {
+                    return Err(DprError::Invalid(format!(
+                        "unexpected frame {k:?} on pipelined connection"
+                    )))
+                }
+            }
+        }
+        if out.is_empty() {
+            if let Some(current) = self.world_line_failure {
+                return Err(DprError::WorldLineMismatch {
+                    requested: self.session.world_line(),
+                    current,
+                });
+            }
+        }
+        Ok(out)
+    }
+
+    /// Retransmit every batch whose response has been outstanding for at
+    /// least `older_than`. Safe for non-idempotent ops only when the
+    /// server runs duplicate suppression (`dedupe_window > 0`); see
+    /// `docs/NETWORK.md` §6. Returns the number retransmitted.
+    pub fn retransmit_stalled(&mut self, older_than: Duration) -> Result<usize> {
+        let now = Instant::now();
+        let mut resent = 0usize;
+        let stalled: Vec<u64> = self
+            .inflight
+            .iter()
+            .filter(|(_, b)| now.duration_since(b.sent_at) >= older_than)
+            .map(|(&s, _)| s)
+            .collect();
+        for seq in stalled {
+            let batch = self.inflight.get_mut(&seq).expect("collected above");
+            batch.sent_at = now;
+            let req = WireRequest {
+                header: batch.header.clone(),
+                ops: batch.ops.clone(),
+            };
+            let frame = req.to_frame(batch.shard, seq);
+            self.conn.send(&frame)?;
+            resent += 1;
+        }
+        Ok(resent)
+    }
+
+    /// Drop the connection, dial again with a bumped epoch, and retransmit
+    /// every in-flight batch. The server's dedupe cache replays batches
+    /// that executed before the disconnect, keeping them exactly-once.
+    pub fn reconnect(&mut self) -> Result<()> {
+        self.epoch += 1;
+        let mut fresh = FramedConn::dial(self.conn.addr)?;
+        let ack = fresh.handshake(
+            &self.session,
+            self.epoch,
+            Instant::now() + DEFAULT_READ_TIMEOUT,
+        )?;
+        fresh.next_seq = self.conn.next_seq;
+        self.conn = fresh;
+        self.shards = ack.shards;
+        let now = Instant::now();
+        let seqs: Vec<u64> = self.inflight.keys().copied().collect();
+        for seq in seqs {
+            let batch = self.inflight.get_mut(&seq).expect("own key");
+            batch.sent_at = now;
+            let req = WireRequest {
+                header: batch.header.clone(),
+                ops: batch.ops.clone(),
+            };
+            let frame = req.to_frame(batch.shard, seq);
+            self.conn.send(&frame)?;
+        }
+        Ok(())
     }
 }

@@ -1,0 +1,916 @@
+//! The binary wire protocol of the real network plane.
+//!
+//! Every byte that crosses a socket is specified in `docs/NETWORK.md`; this
+//! module is the reference codec. Keep the two in lockstep — the acceptance
+//! bar for the network plane is "a second implementation could interoperate
+//! from the document alone".
+//!
+//! Framing is a fixed 24-byte little-endian header (magic, protocol
+//! version, frame kind, flags, shard route, sequence number, body length)
+//! followed by a kind-specific body. Bodies use fixed-width little-endian
+//! integers and `u32`-length-prefixed byte strings — no varints, no
+//! self-describing envelope — so offsets are computable from the spec
+//! table. JSON (the old `tcp.rs` stub format) is gone from the wire.
+
+use crate::message::{ClusterOp, OpResult};
+use dpr_core::{DprError, Key, Result, SessionId, ShardId, Token, Value, Version, WorldLine};
+use dpr_metadata::Cut;
+use libdpr::{BatchHeader, BatchReply};
+
+/// Leading magic of every frame: the ASCII bytes `D P R 1`.
+pub const MAGIC: [u8; 4] = *b"DPR1";
+
+/// Protocol version carried in byte 4 of the header. Peers MUST reject
+/// frames with any other value (see [`ProtoErrorCode::UnsupportedVersion`]).
+pub const WIRE_VERSION: u8 = 1;
+
+/// Fixed frame-header length in bytes.
+pub const FRAME_HEADER_LEN: usize = 24;
+
+/// Upper bound on a frame body. Oversized length prefixes are a protocol
+/// error (the connection is poisoned — resynchronisation is impossible).
+pub const MAX_FRAME_BODY: usize = 32 << 20;
+
+/// `shard` header value for frames that are not routed to a shard
+/// (handshake, cut queries, errors).
+pub const NO_SHARD: u32 = u32::MAX;
+
+/// Decode-side sanity bounds (a malicious length prefix must not cause a
+/// huge allocation before the body bytes actually arrive).
+const MAX_DEPS: usize = 1 << 16;
+const MAX_OPS: usize = 1 << 20;
+
+/// Frame kinds (header byte 5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum FrameKind {
+    /// Client → server, first frame on a connection: binds it to a session.
+    Hello = 1,
+    /// Server → client: handshake accepted.
+    HelloAck = 2,
+    /// Client → server: one `(BatchHeader, ops)` batch.
+    Request = 3,
+    /// Server → client: the outcome of the request with the same `seq`.
+    Response = 4,
+    /// Client → server: ask for the current DPR cut.
+    CutReq = 5,
+    /// Server → client: the cut, for client-side commit tracking.
+    CutResp = 6,
+    /// Server → client: protocol-level rejection (not a batch outcome).
+    Error = 7,
+    /// Either direction: clean shutdown notice; the peer may close.
+    Goodbye = 8,
+}
+
+impl FrameKind {
+    /// Parse a kind byte.
+    #[must_use]
+    pub fn from_u8(b: u8) -> Option<FrameKind> {
+        Some(match b {
+            1 => FrameKind::Hello,
+            2 => FrameKind::HelloAck,
+            3 => FrameKind::Request,
+            4 => FrameKind::Response,
+            5 => FrameKind::CutReq,
+            6 => FrameKind::CutResp,
+            7 => FrameKind::Error,
+            8 => FrameKind::Goodbye,
+            _ => return None,
+        })
+    }
+}
+
+/// One frame: the parsed header plus the raw body bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// Frame kind.
+    pub kind: FrameKind,
+    /// Shard route ([`NO_SHARD`] when not applicable).
+    pub shard: u32,
+    /// Client-assigned sequence number, echoed verbatim in the matching
+    /// [`FrameKind::Response`] / [`FrameKind::CutResp`] / [`FrameKind::Error`].
+    pub seq: u64,
+    /// Kind-specific body.
+    pub body: Vec<u8>,
+}
+
+impl Frame {
+    /// Append the encoded frame to `out`.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&MAGIC);
+        out.push(WIRE_VERSION);
+        out.push(self.kind as u8);
+        out.extend_from_slice(&0u16.to_le_bytes()); // flags: reserved, zero
+        out.extend_from_slice(&self.shard.to_le_bytes());
+        out.extend_from_slice(&self.seq.to_le_bytes());
+        out.extend_from_slice(&(self.body.len() as u32).to_le_bytes());
+        out.extend_from_slice(&self.body);
+    }
+
+    /// Total encoded length.
+    #[must_use]
+    pub fn encoded_len(&self) -> usize {
+        FRAME_HEADER_LEN + self.body.len()
+    }
+}
+
+/// Try to decode one frame from the front of `buf`.
+///
+/// Returns `Ok(None)` when `buf` holds only a prefix of a frame (read more
+/// bytes), `Ok(Some((frame, consumed)))` on success, and `Err` on a
+/// malformed header — after which the stream is unrecoverable and the
+/// connection must be closed.
+pub fn decode_frame(buf: &[u8]) -> Result<Option<(Frame, usize)>> {
+    if buf.len() < FRAME_HEADER_LEN {
+        return Ok(None);
+    }
+    if buf[0..4] != MAGIC {
+        return Err(DprError::Invalid(format!(
+            "bad frame magic {:02x?}",
+            &buf[0..4]
+        )));
+    }
+    if buf[4] != WIRE_VERSION {
+        return Err(DprError::Invalid(format!(
+            "unsupported wire version {}",
+            buf[4]
+        )));
+    }
+    let Some(kind) = FrameKind::from_u8(buf[5]) else {
+        return Err(DprError::Invalid(format!("unknown frame kind {}", buf[5])));
+    };
+    let flags = u16::from_le_bytes([buf[6], buf[7]]);
+    if flags != 0 {
+        return Err(DprError::Invalid(format!("nonzero frame flags {flags:#x}")));
+    }
+    let shard = u32::from_le_bytes([buf[8], buf[9], buf[10], buf[11]]);
+    let mut seq = [0u8; 8];
+    seq.copy_from_slice(&buf[12..20]);
+    let seq = u64::from_le_bytes(seq);
+    let body_len = u32::from_le_bytes([buf[20], buf[21], buf[22], buf[23]]) as usize;
+    if body_len > MAX_FRAME_BODY {
+        return Err(DprError::Invalid(format!(
+            "oversized frame body {body_len}"
+        )));
+    }
+    let total = FRAME_HEADER_LEN + body_len;
+    if buf.len() < total {
+        return Ok(None);
+    }
+    Ok(Some((
+        Frame {
+            kind,
+            shard,
+            seq,
+            body: buf[FRAME_HEADER_LEN..total].to_vec(),
+        },
+        total,
+    )))
+}
+
+// ---------------------------------------------------------------------------
+// Body primitives
+// ---------------------------------------------------------------------------
+
+fn put_u8(out: &mut Vec<u8>, v: u8) {
+    out.push(v);
+}
+fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+fn put_bytes(out: &mut Vec<u8>, b: &[u8]) {
+    put_u32(out, b.len() as u32);
+    out.extend_from_slice(b);
+}
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_bytes(out, s.as_bytes());
+}
+
+/// Bounds-checked body reader.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Cursor<'a> {
+        Cursor { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or_else(|| DprError::Invalid("truncated frame body".into()))?;
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16> {
+        let b = self.take(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    fn u32(&mut self) -> Result<u32> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> Result<u64> {
+        let b = self.take(8)?;
+        let mut a = [0u8; 8];
+        a.copy_from_slice(b);
+        Ok(u64::from_le_bytes(a))
+    }
+
+    fn bytes(&mut self) -> Result<&'a [u8]> {
+        let len = self.u32()? as usize;
+        if len > MAX_FRAME_BODY {
+            return Err(DprError::Invalid(format!("oversized byte string {len}")));
+        }
+        self.take(len)
+    }
+
+    fn string(&mut self) -> Result<String> {
+        let b = self.bytes()?;
+        String::from_utf8(b.to_vec()).map_err(|_| DprError::Invalid("non-UTF-8 string".into()))
+    }
+
+    /// Every body byte must be consumed: trailing garbage is a protocol
+    /// error, not padding.
+    fn finish(self) -> Result<()> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(DprError::Invalid(format!(
+                "{} trailing bytes in frame body",
+                self.buf.len() - self.pos
+            )))
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Handshake
+// ---------------------------------------------------------------------------
+
+/// Body of a [`FrameKind::Hello`] frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Hello {
+    /// The DPR session this connection will carry.
+    pub session: SessionId,
+    /// Connection epoch: 1 on the first dial, incremented on every
+    /// reconnect of the same session. The server fences stale epochs so a
+    /// zombie connection cannot race its replacement.
+    pub epoch: u32,
+    /// World-line the session believes it is on (diagnostic; batches carry
+    /// their own world-line and are validated individually).
+    pub world_line: WorldLine,
+}
+
+impl Hello {
+    /// Build the frame (Hello carries no shard route; `seq` 0 by convention).
+    #[must_use]
+    pub fn to_frame(&self) -> Frame {
+        let mut body = Vec::with_capacity(20);
+        put_u64(&mut body, self.session.0);
+        put_u32(&mut body, self.epoch);
+        put_u64(&mut body, self.world_line.0);
+        Frame {
+            kind: FrameKind::Hello,
+            shard: NO_SHARD,
+            seq: 0,
+            body,
+        }
+    }
+
+    /// Parse from a [`FrameKind::Hello`] frame body.
+    pub fn from_frame(f: &Frame) -> Result<Hello> {
+        let mut c = Cursor::new(&f.body);
+        let hello = Hello {
+            session: SessionId(c.u64()?),
+            epoch: c.u32()?,
+            world_line: WorldLine(c.u64()?),
+        };
+        c.finish()?;
+        Ok(hello)
+    }
+}
+
+/// Body of a [`FrameKind::HelloAck`] frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HelloAck {
+    /// Epoch echoed from the accepted [`Hello`].
+    pub epoch: u32,
+    /// World-line the server is on.
+    pub world_line: WorldLine,
+    /// Shards reachable through this connection (the fan-in server hosts
+    /// many workers behind one listener; clients route with the frame
+    /// header's `shard` field).
+    pub shards: Vec<ShardId>,
+}
+
+impl HelloAck {
+    /// Build the frame.
+    #[must_use]
+    pub fn to_frame(&self) -> Frame {
+        let mut body = Vec::with_capacity(16 + 4 * self.shards.len());
+        put_u32(&mut body, self.epoch);
+        put_u64(&mut body, self.world_line.0);
+        put_u32(&mut body, self.shards.len() as u32);
+        for s in &self.shards {
+            put_u32(&mut body, s.0);
+        }
+        Frame {
+            kind: FrameKind::HelloAck,
+            shard: NO_SHARD,
+            seq: 0,
+            body,
+        }
+    }
+
+    /// Parse from a [`FrameKind::HelloAck`] frame body.
+    pub fn from_frame(f: &Frame) -> Result<HelloAck> {
+        let mut c = Cursor::new(&f.body);
+        let epoch = c.u32()?;
+        let world_line = WorldLine(c.u64()?);
+        let n = c.u32()? as usize;
+        if n > MAX_DEPS {
+            return Err(DprError::Invalid(format!("absurd shard count {n}")));
+        }
+        let mut shards = Vec::with_capacity(n);
+        for _ in 0..n {
+            shards.push(ShardId(c.u32()?));
+        }
+        c.finish()?;
+        Ok(HelloAck {
+            epoch,
+            world_line,
+            shards,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Requests and responses
+// ---------------------------------------------------------------------------
+
+/// One request over the wire (body of a [`FrameKind::Request`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireRequest {
+    /// DPR header (piggybacked protocol state, §3.2).
+    pub header: BatchHeader,
+    /// Operation bodies.
+    pub ops: Vec<ClusterOp>,
+}
+
+/// One response over the wire (body of a [`FrameKind::Response`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireResponse {
+    /// The reply and results, or the protocol rejection.
+    pub outcome: std::result::Result<(BatchReply, Vec<OpResult>), DprError>,
+}
+
+fn put_header(out: &mut Vec<u8>, h: &BatchHeader) {
+    put_u64(out, h.session.0);
+    put_u64(out, h.world_line.0);
+    put_u64(out, h.version_lower_bound.0);
+    put_u64(out, h.first_serial);
+    put_u32(out, h.op_count);
+    put_u32(out, h.deps.len() as u32);
+    for t in &h.deps {
+        put_u32(out, t.shard.0);
+        put_u64(out, t.version.0);
+    }
+}
+
+fn get_header(c: &mut Cursor<'_>) -> Result<BatchHeader> {
+    let session = SessionId(c.u64()?);
+    let world_line = WorldLine(c.u64()?);
+    let version_lower_bound = Version(c.u64()?);
+    let first_serial = c.u64()?;
+    let op_count = c.u32()?;
+    let ndeps = c.u32()? as usize;
+    if ndeps > MAX_DEPS {
+        return Err(DprError::Invalid(format!("absurd dep count {ndeps}")));
+    }
+    let mut deps = Vec::with_capacity(ndeps);
+    for _ in 0..ndeps {
+        let shard = ShardId(c.u32()?);
+        let version = Version(c.u64()?);
+        deps.push(Token::new(shard, version));
+    }
+    Ok(BatchHeader {
+        session,
+        world_line,
+        version_lower_bound,
+        deps,
+        first_serial,
+        op_count,
+    })
+}
+
+fn put_op(out: &mut Vec<u8>, op: &ClusterOp) {
+    match op {
+        ClusterOp::Read(k) => {
+            put_u8(out, 0);
+            put_bytes(out, &k.0);
+        }
+        ClusterOp::Upsert(k, v) => {
+            put_u8(out, 1);
+            put_bytes(out, &k.0);
+            put_bytes(out, &v.0);
+        }
+        ClusterOp::Incr(k) => {
+            put_u8(out, 2);
+            put_bytes(out, &k.0);
+        }
+        ClusterOp::Delete(k) => {
+            put_u8(out, 3);
+            put_bytes(out, &k.0);
+        }
+    }
+}
+
+fn get_op(c: &mut Cursor<'_>) -> Result<ClusterOp> {
+    let tag = c.u8()?;
+    let key = Key(bytes::Bytes::copy_from_slice(c.bytes()?));
+    Ok(match tag {
+        0 => ClusterOp::Read(key),
+        1 => {
+            let value = Value(bytes::Bytes::copy_from_slice(c.bytes()?));
+            ClusterOp::Upsert(key, value)
+        }
+        2 => ClusterOp::Incr(key),
+        3 => ClusterOp::Delete(key),
+        t => return Err(DprError::Invalid(format!("unknown op tag {t}"))),
+    })
+}
+
+fn put_op_result(out: &mut Vec<u8>, r: &OpResult) {
+    match r {
+        OpResult::Value(None) => put_u8(out, 0),
+        OpResult::Value(Some(v)) => {
+            put_u8(out, 1);
+            put_bytes(out, &v.0);
+        }
+        OpResult::Done => put_u8(out, 2),
+    }
+}
+
+fn get_op_result(c: &mut Cursor<'_>) -> Result<OpResult> {
+    Ok(match c.u8()? {
+        0 => OpResult::Value(None),
+        1 => OpResult::Value(Some(Value(bytes::Bytes::copy_from_slice(c.bytes()?)))),
+        2 => OpResult::Done,
+        t => return Err(DprError::Invalid(format!("unknown op-result tag {t}"))),
+    })
+}
+
+fn put_reply(out: &mut Vec<u8>, r: &BatchReply) {
+    put_u32(out, r.shard.0);
+    put_u64(out, r.world_line.0);
+    put_u64(out, r.version.0);
+    put_u64(out, r.first_serial);
+    put_u32(out, r.op_count);
+}
+
+fn get_reply(c: &mut Cursor<'_>) -> Result<BatchReply> {
+    Ok(BatchReply {
+        shard: ShardId(c.u32()?),
+        world_line: WorldLine(c.u64()?),
+        version: Version(c.u64()?),
+        first_serial: c.u64()?,
+        op_count: c.u32()?,
+    })
+}
+
+fn put_dpr_error(out: &mut Vec<u8>, e: &DprError) {
+    match e {
+        DprError::WorldLineMismatch { requested, current } => {
+            put_u8(out, 1);
+            put_u64(out, requested.0);
+            put_u64(out, current.0);
+        }
+        DprError::RolledBack {
+            session,
+            survived,
+            world_line,
+        } => {
+            put_u8(out, 2);
+            put_u64(out, session.0);
+            put_u64(out, *survived);
+            put_u64(out, world_line.0);
+        }
+        DprError::NotOwner { shard } => {
+            put_u8(out, 3);
+            put_u32(out, shard.0);
+        }
+        DprError::NoSuchCheckpoint { shard, version } => {
+            put_u8(out, 4);
+            put_u32(out, shard.0);
+            put_u64(out, version.0);
+        }
+        DprError::Recovering => put_u8(out, 5),
+        DprError::Closed => put_u8(out, 6),
+        DprError::Storage(m) => {
+            put_u8(out, 7);
+            put_str(out, m);
+        }
+        DprError::Metadata(m) => {
+            put_u8(out, 8);
+            put_str(out, m);
+        }
+        DprError::Invalid(m) => {
+            put_u8(out, 9);
+            put_str(out, m);
+        }
+        DprError::Timeout => put_u8(out, 10),
+    }
+}
+
+fn get_dpr_error(c: &mut Cursor<'_>) -> Result<DprError> {
+    Ok(match c.u8()? {
+        1 => DprError::WorldLineMismatch {
+            requested: WorldLine(c.u64()?),
+            current: WorldLine(c.u64()?),
+        },
+        2 => DprError::RolledBack {
+            session: SessionId(c.u64()?),
+            survived: c.u64()?,
+            world_line: WorldLine(c.u64()?),
+        },
+        3 => DprError::NotOwner {
+            shard: ShardId(c.u32()?),
+        },
+        4 => DprError::NoSuchCheckpoint {
+            shard: ShardId(c.u32()?),
+            version: Version(c.u64()?),
+        },
+        5 => DprError::Recovering,
+        6 => DprError::Closed,
+        7 => DprError::Storage(c.string()?),
+        8 => DprError::Metadata(c.string()?),
+        9 => DprError::Invalid(c.string()?),
+        10 => DprError::Timeout,
+        t => return Err(DprError::Invalid(format!("unknown error tag {t}"))),
+    })
+}
+
+impl WireRequest {
+    /// Build the frame, routed to `shard` with correlation id `seq`.
+    #[must_use]
+    pub fn to_frame(&self, shard: ShardId, seq: u64) -> Frame {
+        let mut body = Vec::with_capacity(64 + 16 * self.ops.len());
+        put_header(&mut body, &self.header);
+        put_u32(&mut body, self.ops.len() as u32);
+        for op in &self.ops {
+            put_op(&mut body, op);
+        }
+        Frame {
+            kind: FrameKind::Request,
+            shard: shard.0,
+            seq,
+            body,
+        }
+    }
+
+    /// Parse from a [`FrameKind::Request`] frame body.
+    pub fn from_frame(f: &Frame) -> Result<WireRequest> {
+        let mut c = Cursor::new(&f.body);
+        let header = get_header(&mut c)?;
+        let nops = c.u32()? as usize;
+        if nops > MAX_OPS {
+            return Err(DprError::Invalid(format!("absurd op count {nops}")));
+        }
+        let mut ops = Vec::with_capacity(nops);
+        for _ in 0..nops {
+            ops.push(get_op(&mut c)?);
+        }
+        c.finish()?;
+        Ok(WireRequest { header, ops })
+    }
+}
+
+impl WireResponse {
+    /// Build the frame, echoing the request's `shard` and `seq`.
+    #[must_use]
+    pub fn to_frame(&self, shard: u32, seq: u64) -> Frame {
+        let mut body = Vec::with_capacity(64);
+        match &self.outcome {
+            Ok((reply, results)) => {
+                put_u8(&mut body, 0);
+                put_reply(&mut body, reply);
+                put_u32(&mut body, results.len() as u32);
+                for r in results {
+                    put_op_result(&mut body, r);
+                }
+            }
+            Err(e) => {
+                put_u8(&mut body, 1);
+                put_dpr_error(&mut body, e);
+            }
+        }
+        Frame {
+            kind: FrameKind::Response,
+            shard,
+            seq,
+            body,
+        }
+    }
+
+    /// Parse from a [`FrameKind::Response`] frame body.
+    pub fn from_frame(f: &Frame) -> Result<WireResponse> {
+        let mut c = Cursor::new(&f.body);
+        let outcome = match c.u8()? {
+            0 => {
+                let reply = get_reply(&mut c)?;
+                let n = c.u32()? as usize;
+                if n > MAX_OPS {
+                    return Err(DprError::Invalid(format!("absurd result count {n}")));
+                }
+                let mut results = Vec::with_capacity(n);
+                for _ in 0..n {
+                    results.push(get_op_result(&mut c)?);
+                }
+                Ok((reply, results))
+            }
+            1 => Err(get_dpr_error(&mut c)?),
+            t => return Err(DprError::Invalid(format!("unknown outcome tag {t}"))),
+        };
+        c.finish()?;
+        Ok(WireResponse { outcome })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Cut transfer
+// ---------------------------------------------------------------------------
+
+/// Body of a [`FrameKind::CutResp`] frame: the metadata store's current cut
+/// and world-line, so remote clients can advance their committed prefix
+/// without any side channel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CutResponse {
+    /// World-line the cut belongs to.
+    pub world_line: WorldLine,
+    /// The cut: guaranteed-recoverable version per shard.
+    pub cut: Cut,
+}
+
+impl CutResponse {
+    /// Build the frame, echoing the [`FrameKind::CutReq`]'s `seq`.
+    #[must_use]
+    pub fn to_frame(&self, seq: u64) -> Frame {
+        let mut body = Vec::with_capacity(16 + 12 * self.cut.len());
+        put_u64(&mut body, self.world_line.0);
+        put_u32(&mut body, self.cut.len() as u32);
+        for (shard, version) in &self.cut {
+            put_u32(&mut body, shard.0);
+            put_u64(&mut body, version.0);
+        }
+        Frame {
+            kind: FrameKind::CutResp,
+            shard: NO_SHARD,
+            seq,
+            body,
+        }
+    }
+
+    /// Parse from a [`FrameKind::CutResp`] frame body.
+    pub fn from_frame(f: &Frame) -> Result<CutResponse> {
+        let mut c = Cursor::new(&f.body);
+        let world_line = WorldLine(c.u64()?);
+        let n = c.u32()? as usize;
+        if n > MAX_DEPS {
+            return Err(DprError::Invalid(format!("absurd cut size {n}")));
+        }
+        let mut cut = Cut::new();
+        for _ in 0..n {
+            let shard = ShardId(c.u32()?);
+            let version = Version(c.u64()?);
+            cut.insert(shard, version);
+        }
+        c.finish()?;
+        Ok(CutResponse { world_line, cut })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Protocol errors
+// ---------------------------------------------------------------------------
+
+/// Codes carried by [`FrameKind::Error`] frames — rejections of the *frame
+/// stream itself*, as opposed to batch outcomes (which travel as
+/// [`WireResponse`] errors).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u16)]
+pub enum ProtoErrorCode {
+    /// Header version byte differs from [`WIRE_VERSION`]. Connection closes.
+    UnsupportedVersion = 1,
+    /// Undecodable or ill-formed frame. Connection closes.
+    BadFrame = 2,
+    /// A routed frame arrived before [`Hello`]. Connection closes.
+    HandshakeRequired = 3,
+    /// [`Hello`] carried an epoch older than one already accepted for the
+    /// session — the connection is a zombie. Connection closes.
+    StaleEpoch = 4,
+    /// The frame's `shard` route is not hosted here. Connection stays open.
+    UnknownShard = 5,
+    /// The batch is already executing from an earlier delivery; retry
+    /// after a delay. Connection stays open.
+    DuplicateInFlight = 6,
+    /// Server is shutting down. Connection closes.
+    Shutdown = 7,
+}
+
+impl ProtoErrorCode {
+    /// Parse a code.
+    #[must_use]
+    pub fn from_u16(v: u16) -> Option<ProtoErrorCode> {
+        Some(match v {
+            1 => ProtoErrorCode::UnsupportedVersion,
+            2 => ProtoErrorCode::BadFrame,
+            3 => ProtoErrorCode::HandshakeRequired,
+            4 => ProtoErrorCode::StaleEpoch,
+            5 => ProtoErrorCode::UnknownShard,
+            6 => ProtoErrorCode::DuplicateInFlight,
+            7 => ProtoErrorCode::Shutdown,
+            _ => return None,
+        })
+    }
+
+    /// Whether the server keeps the connection open after sending this code.
+    #[must_use]
+    pub fn recoverable(self) -> bool {
+        matches!(
+            self,
+            ProtoErrorCode::UnknownShard | ProtoErrorCode::DuplicateInFlight
+        )
+    }
+}
+
+/// Body of a [`FrameKind::Error`] frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProtoError {
+    /// Machine-readable code.
+    pub code: ProtoErrorCode,
+    /// Human-readable detail (may be empty).
+    pub detail: String,
+}
+
+impl ProtoError {
+    /// Build the frame, echoing the offending frame's `seq` when known.
+    #[must_use]
+    pub fn to_frame(&self, seq: u64) -> Frame {
+        let mut body = Vec::with_capacity(8 + self.detail.len());
+        put_u16(&mut body, self.code as u16);
+        put_str(&mut body, &self.detail);
+        Frame {
+            kind: FrameKind::Error,
+            shard: NO_SHARD,
+            seq,
+            body,
+        }
+    }
+
+    /// Parse from a [`FrameKind::Error`] frame body.
+    pub fn from_frame(f: &Frame) -> Result<ProtoError> {
+        let mut c = Cursor::new(&f.body);
+        let raw = c.u16()?;
+        let code = ProtoErrorCode::from_u16(raw)
+            .ok_or_else(|| DprError::Invalid(format!("unknown protocol error code {raw}")))?;
+        let detail = c.string()?;
+        c.finish()?;
+        Ok(ProtoError { code, detail })
+    }
+
+    /// The [`DprError`] a client surfaces for this protocol rejection.
+    #[must_use]
+    pub fn to_dpr_error(&self) -> DprError {
+        match self.code {
+            ProtoErrorCode::Shutdown => DprError::Closed,
+            ProtoErrorCode::DuplicateInFlight => DprError::Recovering,
+            _ => DprError::Invalid(format!("protocol error {:?}: {}", self.code, self.detail)),
+        }
+    }
+}
+
+/// An empty-bodied frame of the given kind (`CutReq`, `Goodbye`).
+#[must_use]
+pub fn control_frame(kind: FrameKind, seq: u64) -> Frame {
+    Frame {
+        kind,
+        shard: NO_SHARD,
+        seq,
+        body: Vec::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_request() -> WireRequest {
+        WireRequest {
+            header: BatchHeader {
+                session: SessionId(7),
+                world_line: WorldLine(2),
+                version_lower_bound: Version(40),
+                deps: vec![Token::new(ShardId(1), Version(39))],
+                first_serial: 1000,
+                op_count: 2,
+            },
+            ops: vec![
+                ClusterOp::Read(Key::from_u64(1)),
+                ClusterOp::Upsert(Key::from_u64(2), Value::from_u64(9)),
+            ],
+        }
+    }
+
+    #[test]
+    fn request_round_trips() {
+        let req = sample_request();
+        let frame = req.to_frame(ShardId(3), 42);
+        let mut buf = Vec::new();
+        frame.encode_into(&mut buf);
+        let (decoded, used) = decode_frame(&buf).unwrap().unwrap();
+        assert_eq!(used, buf.len());
+        assert_eq!(decoded.kind, FrameKind::Request);
+        assert_eq!(decoded.shard, 3);
+        assert_eq!(decoded.seq, 42);
+        assert_eq!(WireRequest::from_frame(&decoded).unwrap(), req);
+    }
+
+    #[test]
+    fn partial_buffers_ask_for_more() {
+        let mut buf = Vec::new();
+        sample_request()
+            .to_frame(ShardId(0), 1)
+            .encode_into(&mut buf);
+        for cut in 0..buf.len() {
+            assert!(decode_frame(&buf[..cut]).unwrap().is_none(), "cut={cut}");
+        }
+    }
+
+    #[test]
+    fn bad_magic_and_version_are_rejected() {
+        let mut buf = Vec::new();
+        control_frame(FrameKind::CutReq, 5).encode_into(&mut buf);
+        let mut bad = buf.clone();
+        bad[0] = b'X';
+        assert!(decode_frame(&bad).is_err());
+        let mut bad = buf.clone();
+        bad[4] = 99;
+        assert!(decode_frame(&bad).is_err());
+        let mut bad = buf;
+        bad[6] = 1; // nonzero flags
+        assert!(decode_frame(&bad).is_err());
+    }
+
+    #[test]
+    fn error_outcomes_round_trip() {
+        let cases = vec![
+            DprError::WorldLineMismatch {
+                requested: WorldLine(1),
+                current: WorldLine(2),
+            },
+            DprError::NotOwner { shard: ShardId(4) },
+            DprError::Recovering,
+            DprError::Timeout,
+            DprError::Invalid("nope".into()),
+        ];
+        for e in cases {
+            let resp = WireResponse {
+                outcome: Err(e.clone()),
+            };
+            let frame = resp.to_frame(0, 9);
+            assert_eq!(WireResponse::from_frame(&frame).unwrap().outcome, Err(e));
+        }
+    }
+
+    #[test]
+    fn cut_round_trips() {
+        let mut cut = Cut::new();
+        cut.insert(ShardId(0), Version(5));
+        cut.insert(ShardId(9), Version(1));
+        let resp = CutResponse {
+            world_line: WorldLine(3),
+            cut,
+        };
+        let frame = resp.to_frame(77);
+        assert_eq!(CutResponse::from_frame(&frame).unwrap(), resp);
+    }
+}

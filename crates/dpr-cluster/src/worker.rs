@@ -257,12 +257,30 @@ impl Worker {
         cache.order.clear();
     }
 
+    /// Whether duplicate suppression is enabled for remote batches.
+    #[must_use]
+    pub(crate) fn dedupe_enabled(&self) -> bool {
+        self.config.dedupe_window > 0
+    }
+
+    /// Current DPR cut and world-line straight from the metadata store —
+    /// what the network plane serves for `CutReq` frames so remote clients
+    /// can track commits without a side channel.
+    pub fn read_cut(&self) -> Result<(WorldLine, dpr_metadata::Cut)> {
+        let cut = self.meta.read_cut()?;
+        let world_line = self.meta.world_line()?;
+        Ok((world_line, cut))
+    }
+
     /// Duplicate check for a remote batch. `None` means fresh (caller
     /// executes and records the outcome); `Some(None)` means a copy is
     /// already executing (drop the duplicate); `Some(Some(_))` replays
     /// the cached reply.
     #[allow(clippy::option_option)]
-    fn dedupe_check(&self, header: &BatchHeader) -> Option<Option<(BatchReply, Vec<OpResult>)>> {
+    pub(crate) fn dedupe_check(
+        &self,
+        header: &BatchHeader,
+    ) -> Option<Option<(BatchReply, Vec<OpResult>)>> {
         let key = (header.session, header.first_serial);
         let mut cache = self.dedupe.lock();
         match cache.entries.get(&key) {
@@ -283,7 +301,11 @@ impl Worker {
 
     /// Record the outcome of a fresh batch: successes are cached for
     /// replay; failures clear the in-flight marker so a retry re-executes.
-    fn dedupe_record(&self, header: &BatchHeader, outcome: &Result<(BatchReply, Vec<OpResult>)>) {
+    pub(crate) fn dedupe_record(
+        &self,
+        header: &BatchHeader,
+        outcome: &Result<(BatchReply, Vec<OpResult>)>,
+    ) {
         let key = (header.session, header.first_serial);
         let mut cache = self.dedupe.lock();
         match outcome {

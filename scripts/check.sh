@@ -44,6 +44,18 @@ echo "==> chaos smoke (1 round, seed 42, 2s)"
 cargo run --release -q -p dpr-bench --bin chaos -- \
     --seed 42 --secs 2 --rounds 1 --out target/BENCH_chaos.smoke.json
 
+# Network-plane smoke: a short netload run over real loopback TCP — server
+# subprocess with 2 workers, 8 pipelined client sessions, one uncapped
+# point — proving the framed wire protocol, handshake, and cut transfer
+# work end to end over sockets (docs/NETWORK.md). The checked-in
+# BENCH_net.json comes from a full default-length run; the smoke writes to
+# the target directory instead.
+echo
+echo "==> netload smoke (2 shards, 8 sessions, loopback)"
+DPR_BENCH_SECS=1 DPR_NET_SHARDS=2 DPR_NET_SESSIONS=8 DPR_NET_THREADS=1 \
+    DPR_NET_QPS=0 DPR_NET_JSON=target/BENCH_net.smoke.json \
+    cargo run --release -q -p dpr-bench --bin netload
+
 echo
 echo "==> cargo doc --no-deps --workspace (warnings denied)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
