@@ -110,7 +110,7 @@ fn bench_finders(c: &mut Criterion) {
         finder_setup(&meta, shards);
         let finder = make(meta);
         let mut v = 1u64;
-        g.bench_function(format!("{name}-report+refresh"), |b| {
+        g.bench_function(&format!("{name}-report+refresh"), |b| {
             b.iter(|| {
                 for s in 0..shards {
                     finder

@@ -31,14 +31,53 @@ use dpr_bench::util::{env_list, row};
 use dpr_cluster::{Cluster, ClusterConfig, ClusterOp, NetServer, NetServerConfig, PipelinedClient};
 use dpr_core::{Key, SessionId, Value};
 use dpr_telemetry::metric_fn;
+use dpr_ycsb::{BatchPlan, KeyDistribution, PlannedKind, WorkloadGen, WorkloadSpec};
 use libdpr::DprClientSession;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use std::io::{BufRead, BufReader, Write as _};
+use std::io::{BufRead, BufReader, Lines, Write as _};
 use std::net::{SocketAddr, TcpListener};
-use std::process::{Child, Command, Stdio};
+use std::process::{Child, ChildStdout, Command, Stdio};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+// ---------------------------------------------------------------------------
+// Allocation accounting: the whole binary (driver and `--serve` child alike)
+// runs under a counting wrapper of the system allocator, so the report can
+// state *allocations per operation* on the steady-state request path — the
+// zero-copy acceptance figure — rather than inferring it from throughput.
+// ---------------------------------------------------------------------------
+
+/// Heap allocations observed process-wide (one relaxed add per alloc).
+static ALLOC_COUNT: AtomicU64 = AtomicU64::new(0);
+
+struct CountingAlloc;
+
+// SAFETY: delegates every operation to `System`; the only addition is a
+// relaxed counter increment on the allocating entry points.
+unsafe impl std::alloc::GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: std::alloc::Layout) -> *mut u8 {
+        ALLOC_COUNT.fetch_add(1, Ordering::Relaxed);
+        std::alloc::System.alloc(layout)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: std::alloc::Layout) {
+        std::alloc::System.dealloc(ptr, layout);
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: std::alloc::Layout, new_size: usize) -> *mut u8 {
+        ALLOC_COUNT.fetch_add(1, Ordering::Relaxed);
+        std::alloc::System.realloc(ptr, layout, new_size)
+    }
+    unsafe fn alloc_zeroed(&self, layout: std::alloc::Layout) -> *mut u8 {
+        ALLOC_COUNT.fetch_add(1, Ordering::Relaxed);
+        std::alloc::System.alloc_zeroed(layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn alloc_count() -> u64 {
+    ALLOC_COUNT.load(Ordering::Relaxed)
+}
 
 metric_fn!(
     /// Batch round-trip latency observed by the load generator (issue →
@@ -53,6 +92,15 @@ metric_fn!(
     fn loadgen_ops() -> Counter =
         ("dpr_loadgen_ops_total", Ops,
          "Operations completed by the netload generator")
+);
+
+metric_fn!(
+    /// Client-side heap allocations per 1000 completed operations on the
+    /// most recent netload point (steady-state request path, ×1000 so the
+    /// sub-one-alloc-per-op regime stays visible in an integer gauge).
+    fn net_alloc_per_op() -> Gauge =
+        ("dpr_net_alloc_per_op", Count,
+         "netload client heap allocations per 1000 ops (most recent point)")
 );
 
 fn env_u64(name: &str, default: u64) -> u64 {
@@ -120,11 +168,19 @@ fn serve() {
     println!("LISTEN {}", server.local_addr());
     std::io::stdout().flush().expect("flush");
 
-    // Serve until the driver says stop (or its pipe closes).
+    // Serve until the driver says stop (or its pipe closes). `MARK` lines
+    // answer with the server-side allocation and executed-op counters so the
+    // driver can compute server allocations/op over exactly the measured
+    // window (setup and teardown excluded).
     let stdin = std::io::stdin();
     for line in stdin.lock().lines() {
         match line {
             Ok(l) if l.trim() == "STOP" => break,
+            Ok(l) if l.trim() == "MARK" => {
+                let ops: u64 = cluster.workers().iter().map(|w| w.executed_ops()).sum();
+                println!("MARK {} {ops}", alloc_count());
+                std::io::stdout().flush().expect("flush");
+            }
             Ok(_) => {}
             Err(_) => break,
         }
@@ -140,6 +196,7 @@ fn serve() {
 struct ServerProc {
     child: Child,
     addr: SocketAddr,
+    lines: Lines<BufReader<ChildStdout>>,
 }
 
 fn spawn_server() -> ServerProc {
@@ -162,10 +219,30 @@ fn spawn_server() -> ServerProc {
             break rest.trim().parse().expect("parse LISTEN addr");
         }
     };
-    ServerProc { child, addr }
+    ServerProc { child, addr, lines }
 }
 
 impl ServerProc {
+    /// Ask the child for its `(allocations, executed_ops)` counters.
+    fn mark(&mut self) -> (u64, u64) {
+        let stdin = self.child.stdin.as_mut().expect("child stdin");
+        stdin.write_all(b"MARK\n").expect("write MARK");
+        stdin.flush().expect("flush MARK");
+        loop {
+            let line = self
+                .lines
+                .next()
+                .expect("server exited before MARK reply")
+                .expect("read server stdout");
+            if let Some(rest) = line.strip_prefix("MARK ") {
+                let mut it = rest.split_whitespace();
+                let allocs = it.next().and_then(|s| s.parse().ok()).expect("MARK allocs");
+                let ops = it.next().and_then(|s| s.parse().ok()).expect("MARK ops");
+                return (allocs, ops);
+            }
+        }
+    }
+
     fn stop(mut self) {
         if let Some(stdin) = self.child.stdin.as_mut() {
             let _ = stdin.write_all(b"STOP\n");
@@ -187,6 +264,9 @@ impl ServerProc {
 
 struct Point {
     target_qps: u64,
+    /// Read percentage this point ran with (the matrix runs the configured
+    /// mix; a trailing read-only point exercises the zero-copy read path).
+    read_pct: u64,
     ops: u64,
     batches: u64,
     /// The issue window only — the post-deadline drain and commit-tracking
@@ -198,6 +278,12 @@ struct Point {
     p95_us: u64,
     p99_us: u64,
     mean_us: f64,
+    /// Driver-process heap allocations per completed op over the point
+    /// (includes the issue window and the drain).
+    client_allocs_per_op: f64,
+    /// Server-process heap allocations per executed op over the point
+    /// (from `MARK` counter deltas around the point).
+    server_allocs_per_op: f64,
 }
 
 impl Point {
@@ -234,7 +320,21 @@ fn drive_thread(
         })
         .collect();
     let shards: Vec<_> = clients[0].shards().to_vec();
-    let mut rng = StdRng::seed_from_u64(42 + tid as u64);
+    // Vectorized op generation: one seeded YCSB generator per thread fills
+    // a reusable plan in bulk passes; the plan's raw key ids materialise
+    // into a reused op buffer. Steady state allocates nothing per batch.
+    let mut gen = WorkloadGen::new(
+        WorkloadSpec {
+            keys: cfg.keys_per_shard,
+            read_fraction: cfg.read_pct as f64 / 100.0,
+            rmw_fraction: 0.0,
+            distribution: KeyDistribution::Uniform,
+            value_size: 8,
+        },
+        42 + tid as u64,
+    );
+    let mut plan = BatchPlan::new();
+    let mut ops: Vec<ClusterOp> = Vec::with_capacity(cfg.batch);
 
     let mut stats = ThreadStats {
         ops: 0,
@@ -268,32 +368,36 @@ fn drive_thread(
                 && (target_per_thread <= 0.0 || tokens >= cfg.batch as f64)
             {
                 let shard = shards[(stats.batches as usize + ci) % shards.len()];
-                let ops: Vec<ClusterOp> = (0..cfg.batch)
-                    .map(|_| {
-                        // Client-side partitioning: the shard index tags the
-                        // key's high bits, so a key always hits one shard.
-                        let k = (u64::from(shard.0) << 32) | rng.gen_range(0..cfg.keys_per_shard);
-                        if rng.gen_range(0..100u64) < cfg.read_pct {
-                            ClusterOp::Read(Key::from_u64(k))
-                        } else {
-                            ClusterOp::Upsert(Key::from_u64(k), Value::from_u64(sweep))
+                gen.fill_plan(&mut plan, cfg.batch);
+                ops.clear();
+                for op in plan.ops() {
+                    // Client-side partitioning: the shard index tags the
+                    // key's high bits, so a key always hits one shard.
+                    let k = (u64::from(shard.0) << 32) | op.key_id;
+                    ops.push(match op.kind {
+                        PlannedKind::Read => ClusterOp::Read(Key::from_u64(k)),
+                        PlannedKind::Rmw => ClusterOp::Incr(Key::from_u64(k)),
+                        PlannedKind::Update => {
+                            ClusterOp::Upsert(Key::from_u64(k), Value::from_u64(op.counter))
                         }
-                    })
-                    .collect();
-                client.issue(shard, ops).expect("issue batch");
+                    });
+                }
+                client.issue(shard, &ops).expect("issue batch");
                 stats.batches += 1;
                 stats.issued_ops += cfg.batch as u64;
                 tokens -= cfg.batch as f64;
             }
-            for done in client.poll(Duration::from_millis(1)).expect("poll") {
-                let results = done.result.expect("batch outcome");
-                hist.record_micros(done.issued_at.elapsed());
-                loadgen_batch_us().record_micros(done.issued_at.elapsed());
-                loadgen_ops().add(results.len() as u64);
-                stats.ops += results.len() as u64;
-            }
+            client
+                .poll_each(Duration::from_millis(1), |done| {
+                    let results = done.result.expect("batch outcome");
+                    hist.record_micros(done.issued_at.elapsed());
+                    loadgen_batch_us().record_micros(done.issued_at.elapsed());
+                    loadgen_ops().add(results.len() as u64);
+                    stats.ops += results.len() as u64;
+                })
+                .expect("poll");
             // Commit tracking rides the same connection, off the hot path.
-            if sweep % 64 == 0 {
+            if sweep.is_multiple_of(64) {
                 client.request_cut().expect("request cut");
             }
         }
@@ -304,13 +408,15 @@ fn drive_thread(
     let grace = Instant::now() + Duration::from_secs(10);
     while clients.iter().any(|c| c.inflight() > 0) && Instant::now() < grace {
         for client in &mut clients {
-            for done in client.poll(Duration::from_millis(2)).expect("drain") {
-                let results = done.result.expect("batch outcome");
-                hist.record_micros(done.issued_at.elapsed());
-                loadgen_batch_us().record_micros(done.issued_at.elapsed());
-                loadgen_ops().add(results.len() as u64);
-                stats.ops += results.len() as u64;
-            }
+            client
+                .poll_each(Duration::from_millis(2), |done| {
+                    let results = done.result.expect("batch outcome");
+                    hist.record_micros(done.issued_at.elapsed());
+                    loadgen_batch_us().record_micros(done.issued_at.elapsed());
+                    loadgen_ops().add(results.len() as u64);
+                    stats.ops += results.len() as u64;
+                })
+                .expect("drain");
         }
     }
 
@@ -328,15 +434,20 @@ fn drive_thread(
         }
         for client in &mut clients {
             client.request_cut().expect("request cut");
-            let _ = client.poll(Duration::from_millis(2)).expect("poll cut");
+            let _ = client
+                .poll_each(Duration::from_millis(2), |_| {})
+                .expect("poll cut");
         }
         std::thread::sleep(Duration::from_millis(20));
     }
     stats
 }
 
-fn run_point(point_idx: usize, addr: SocketAddr, target_qps: u64, cfg: &Config) -> Point {
+fn run_point(point_idx: usize, server: &mut ServerProc, target_qps: u64, cfg: &Config) -> Point {
+    let addr = server.addr;
     let hist = Arc::new(dpr_telemetry::Histogram::new());
+    let (srv_allocs_before, srv_ops_before) = server.mark();
+    let client_allocs_before = alloc_count();
     let stats: Vec<ThreadStats> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..cfg.threads)
             .map(|tid| {
@@ -352,10 +463,15 @@ fn run_point(point_idx: usize, addr: SocketAddr, target_qps: u64, cfg: &Config) 
             .map(|h| h.join().expect("driver thread"))
             .collect()
     });
+    let client_allocs = alloc_count() - client_allocs_before;
+    let (srv_allocs_after, srv_ops_after) = server.mark();
     let snap = hist.snapshot();
+    let ops: u64 = stats.iter().map(|s| s.ops).sum();
+    let srv_ops = (srv_ops_after - srv_ops_before).max(1);
     Point {
         target_qps,
-        ops: stats.iter().map(|s| s.ops).sum(),
+        read_pct: cfg.read_pct,
+        ops,
         batches: stats.iter().map(|s| s.batches).sum(),
         elapsed: cfg.duration,
         issued_ops: stats.iter().map(|s| s.issued_ops).sum(),
@@ -364,6 +480,8 @@ fn run_point(point_idx: usize, addr: SocketAddr, target_qps: u64, cfg: &Config) 
         p95_us: snap.p95(),
         p99_us: snap.p99(),
         mean_us: snap.mean(),
+        client_allocs_per_op: client_allocs as f64 / ops.max(1) as f64,
+        server_allocs_per_op: (srv_allocs_after - srv_allocs_before) as f64 / srv_ops as f64,
     }
 }
 
@@ -378,19 +496,32 @@ fn main() {
     // 0 = uncapped: the closed-loop saturation point.
     let targets = env_list("DPR_NET_QPS", &[2_000, 8_000, 0]);
 
-    let server = spawn_server();
+    let mut server = spawn_server();
     eprintln!(
         "netload: {} sessions x {} threads against {} shards at {}",
         cfg.sessions, cfg.threads, cfg.shards, server.addr
     );
 
+    // The QPS matrix runs the configured mix; a trailing read-only
+    // saturation point (YCSB-C style) exercises the zero-copy read path,
+    // where the wire plane is allocation-free and the store's RCU append
+    // cost is absent.
+    let mut schedule: Vec<(u64, Config)> = targets.iter().map(|&t| (t, cfg.clone())).collect();
+    if cfg.read_pct != 100 && std::env::var_os("DPR_NET_QPS").is_none() {
+        let mut read_cfg = cfg.clone();
+        read_cfg.read_pct = 100;
+        schedule.push((0, read_cfg));
+    }
+
     let mut points = Vec::new();
-    for (i, &target) in targets.iter().enumerate() {
-        let p = run_point(i, server.addr, target, &cfg);
+    for (i, (target, point_cfg)) in schedule.iter().enumerate() {
+        let p = run_point(i, &mut server, *target, point_cfg);
+        net_alloc_per_op().set((p.client_allocs_per_op * 1000.0) as i64);
         row(
             "netload",
             &[
                 ("target_qps", p.target_qps.to_string()),
+                ("read_pct", p.read_pct.to_string()),
                 ("ops_per_sec", format!("{:.0}", p.ops_per_sec())),
                 ("batches", p.batches.to_string()),
                 ("issued_ops", p.issued_ops.to_string()),
@@ -400,6 +531,14 @@ fn main() {
                 ("p95_us", p.p95_us.to_string()),
                 ("p99_us", p.p99_us.to_string()),
                 ("mean_us", format!("{:.0}", p.mean_us)),
+                (
+                    "client_allocs_per_op",
+                    format!("{:.2}", p.client_allocs_per_op),
+                ),
+                (
+                    "server_allocs_per_op",
+                    format!("{:.2}", p.server_allocs_per_op),
+                ),
             ],
         );
         points.push(p);
@@ -433,8 +572,9 @@ fn main() {
     json.push_str("  \"points\": [\n");
     for (i, p) in points.iter().enumerate() {
         json.push_str(&format!(
-            "    {{\"target_qps\": {}, \"ops_per_sec\": {:.0}, \"batches\": {}, \"issued_ops\": {}, \"completed_ops\": {}, \"committed_ops\": {}, \"p50_us\": {}, \"p95_us\": {}, \"p99_us\": {}, \"mean_us\": {:.0}}}{}\n",
+            "    {{\"target_qps\": {}, \"read_pct\": {}, \"ops_per_sec\": {:.0}, \"batches\": {}, \"issued_ops\": {}, \"completed_ops\": {}, \"committed_ops\": {}, \"p50_us\": {}, \"p95_us\": {}, \"p99_us\": {}, \"mean_us\": {:.0}, \"client_allocs_per_op\": {:.2}, \"server_allocs_per_op\": {:.2}}}{}\n",
             p.target_qps,
+            p.read_pct,
             p.ops_per_sec(),
             p.batches,
             p.issued_ops,
@@ -444,13 +584,21 @@ fn main() {
             p.p95_us,
             p.p99_us,
             p.mean_us,
+            p.client_allocs_per_op,
+            p.server_allocs_per_op,
             if i + 1 == points.len() { "" } else { "," },
         ));
     }
     json.push_str("  ],\n");
+    let min_allocs = points
+        .iter()
+        .map(|p| p.client_allocs_per_op + p.server_allocs_per_op)
+        .fold(f64::INFINITY, f64::min);
     json.push_str(&format!(
-        "  \"summary\": {{\"sessions\": {}, \"shards\": {}, \"peak_ops_per_sec\": {peak:.0}}}\n}}\n",
-        cfg.sessions, cfg.shards,
+        "  \"summary\": {{\"sessions\": {}, \"shards\": {}, \"peak_ops_per_sec\": {peak:.0}, \"min_total_allocs_per_op\": {:.2}}}\n}}\n",
+        cfg.sessions,
+        cfg.shards,
+        if min_allocs.is_finite() { min_allocs } else { 0.0 },
     ));
     let mut f = std::fs::File::create(&json_path).expect("create json");
     f.write_all(json.as_bytes()).expect("write json");

@@ -398,7 +398,7 @@ fn run_load(
         session.take_results().clear();
         let _ = session.resend_stalled(Duration::from_millis(250));
         iters += 1;
-        if iters % 32 == 0 {
+        if iters.is_multiple_of(32) {
             // World-line-checked so an unnoticed recovery cannot inflate
             // the committed prefix with aliased post-rollback versions.
             let _ = session.refresh_commit_safe();

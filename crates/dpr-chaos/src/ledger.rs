@@ -70,7 +70,7 @@ pub(crate) fn run(
         }
         let _ = session.resend_stalled(Duration::from_millis(250));
         iters += 1;
-        if iters % 16 == 0 {
+        if iters.is_multiple_of(16) {
             // World-line-checked: a cut read across an unnoticed recovery
             // must not inflate the committed prefix (the next poll
             // surfaces the mismatch and settles the era).

@@ -9,11 +9,9 @@
 
 use crate::message::{ClusterOp, OpResult};
 use crate::worker::ShardStore;
-use dpr_core::{Result, SessionId, ShardId, Value, Version};
+use dpr_core::{Result, SessionId, ShardId, StripedMap, Value, Version};
 use dpr_faster::{FasterKv, OpOutcome, Session};
 use libdpr::{CommitDescriptor, StateObject};
-use parking_lot::Mutex;
-use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -29,7 +27,9 @@ pub struct FasterShard {
     shard: ShardId,
     kv: Arc<FasterKv>,
     /// Server-side FASTER sessions, one per client session id (§5.2).
-    sessions: Mutex<HashMap<SessionId, Slot>>,
+    /// Striped by session id: checkout/checkin happens on every batch, so
+    /// concurrent client sessions must not serialise on one map lock.
+    sessions: StripedMap<SessionId, Slot>,
 }
 
 impl FasterShard {
@@ -38,7 +38,7 @@ impl FasterShard {
         FasterShard {
             shard,
             kv,
-            sessions: Mutex::new(HashMap::new()),
+            sessions: StripedMap::with_default_stripes(),
         }
     }
 
@@ -51,7 +51,7 @@ impl FasterShard {
     fn checkout(&self, id: SessionId) -> Session {
         loop {
             {
-                let mut sessions = self.sessions.lock();
+                let mut sessions = self.sessions.lock_for(&id);
                 match sessions.get_mut(&id) {
                     Some(slot @ Slot::Idle(_)) => {
                         let Slot::Idle(s) = std::mem::replace(slot, Slot::Busy) else {
@@ -75,7 +75,7 @@ impl FasterShard {
     }
 
     fn checkin(&self, id: SessionId, session: Session) {
-        self.sessions.lock().insert(id, Slot::Idle(session));
+        self.sessions.lock_for(&id).insert(id, Slot::Idle(session));
     }
 }
 
@@ -85,9 +85,25 @@ impl ShardStore for FasterShard {
         session_id: SessionId,
         ops: &[ClusterOp],
     ) -> Result<(Vec<OpResult>, Version)> {
+        let mut results = Vec::with_capacity(ops.len());
+        let version = self.execute_batch_into(session_id, ops, &mut results)?;
+        Ok((results, version))
+    }
+
+    fn execute_batch_into(
+        &self,
+        session_id: SessionId,
+        ops: &[ClusterOp],
+        out: &mut Vec<OpResult>,
+    ) -> Result<Version> {
+        let base = out.len();
         let session = self.checkout(session_id);
         let run = (|| {
-            let mut results: Vec<Option<OpResult>> = vec![None; ops.len()];
+            // Placeholder results written in place; `OpResult::Value(None)`
+            // doubles as the "unresolved" marker a PENDING op leaves until
+            // completion fills it in. Reused buffers make this allocation-
+            // free in steady state.
+            out.resize(base + ops.len(), OpResult::Value(None));
             let mut pending: Vec<(u64, usize)> = Vec::new();
             let mut version = Version::ZERO;
             for (i, op) in ops.iter().enumerate() {
@@ -104,11 +120,11 @@ impl ShardStore for FasterShard {
                         value, version: v, ..
                     } => {
                         version = version.max(v);
-                        results[i] = Some(OpResult::Value(value));
+                        out[base + i] = OpResult::Value(value);
                     }
                     OpOutcome::Mutated { version: v, .. } => {
                         version = version.max(v);
-                        results[i] = Some(OpResult::Done);
+                        out[base + i] = OpResult::Done;
                     }
                     OpOutcome::Pending(t) => pending.push((t.serial, i)),
                 }
@@ -121,23 +137,22 @@ impl ShardStore for FasterShard {
                     if let Some(&(_, idx)) = pending.iter().find(|(serial, _)| *serial == c.serial)
                     {
                         version = version.max(c.version);
-                        results[idx] = Some(match &ops[idx] {
+                        out[base + idx] = match &ops[idx] {
                             ClusterOp::Read(_) => OpResult::Value(c.value.clone()),
                             _ => OpResult::Done,
-                        });
+                        };
                     }
                 }
             }
             if version == Version::ZERO {
                 version = self.kv.current_version();
             }
-            let results: Vec<OpResult> = results
-                .into_iter()
-                .map(|r| r.unwrap_or(OpResult::Value(None)))
-                .collect();
-            Ok((results, version))
+            Ok(version)
         })();
         self.checkin(session_id, session);
+        if run.is_err() {
+            out.truncate(base);
+        }
         run
     }
 

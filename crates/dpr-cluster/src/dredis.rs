@@ -55,14 +55,25 @@ impl RedisShard {
 impl ShardStore for RedisShard {
     fn execute_batch(
         &self,
-        _session: SessionId,
+        session: SessionId,
         ops: &[ClusterOp],
     ) -> Result<(Vec<OpResult>, Version)> {
+        let mut results = Vec::with_capacity(ops.len());
+        let version = self.execute_batch_into(session, ops, &mut results)?;
+        Ok((results, version))
+    }
+
+    fn execute_batch_into(
+        &self,
+        _session: SessionId,
+        ops: &[ClusterOp],
+        out: &mut Vec<OpResult>,
+    ) -> Result<Version> {
         // The batch latch: exclusive access to the single-threaded store for
         // the whole batch, so every op executes in one version.
+        let base = out.len();
         let mut inner = self.inner.lock();
         let version = Version(self.current.load(Ordering::Acquire));
-        let mut results = Vec::with_capacity(ops.len());
         for op in ops {
             let cmd = match op {
                 ClusterOp::Read(k) => Command::Get(k.clone()),
@@ -70,12 +81,16 @@ impl ShardStore for RedisShard {
                 ClusterOp::Incr(k) => Command::Incr(k.clone()),
                 ClusterOp::Delete(k) => Command::Del(k.clone()),
             };
-            results.push(match inner.store.execute(&cmd)? {
-                Reply::Value(v) => OpResult::Value(v),
-                Reply::Ok | Reply::Int(_) => OpResult::Done,
-            });
+            match inner.store.execute(&cmd) {
+                Ok(Reply::Value(v)) => out.push(OpResult::Value(v)),
+                Ok(Reply::Ok | Reply::Int(_)) => out.push(OpResult::Done),
+                Err(e) => {
+                    out.truncate(base);
+                    return Err(e);
+                }
+            }
         }
-        Ok((results, version))
+        Ok(version)
     }
 
     fn scan_live(&self) -> Result<Vec<(dpr_core::Key, dpr_core::Value)>> {

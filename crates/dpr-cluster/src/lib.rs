@@ -38,6 +38,6 @@ pub use dredis::RedisShard;
 pub use manager::ClusterManager;
 pub use message::{ClusterOp, OpResult};
 pub use net::{NetServer, NetServerConfig};
-pub use tcp::{PipelinedClient, TcpClient};
+pub use tcp::{Completed, CompletedRef, PipelinedClient, TcpClient};
 pub use transport::{EndpointId, LinkFault, SimNetwork};
 pub use worker::{ShardStore, Worker};

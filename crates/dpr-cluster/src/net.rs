@@ -15,16 +15,38 @@
 //! pipeline by writing many `Request` frames before reading any
 //! `Response`; cross-connection order is unspecified.
 //!
+//! # Steady-state allocation discipline
+//!
+//! The request path is allocation-free in steady state:
+//!
+//! * Connection read/write buffers and the per-thread read chunk are
+//!   pooled [`ScratchLease`]s (`dpr_core::pool`), acquired at connection
+//!   set-up and recycled on close.
+//! * A `Request` body is copied once from the read buffer into a pooled
+//!   shared buffer and frozen into a [`bytes::Bytes`] view; op keys and
+//!   values are zero-copy slices of it ([`wire::decode_request_body`]).
+//! * Ops and results decode into per-thread reusable buffers
+//!   (`IoScratch`), execution appends results in place
+//!   ([`Worker::execute_local_into`]), and the response is encoded
+//!   straight into the connection write buffer ([`wire::encode_response`])
+//!   with a back-patched length — no intermediate frame or body `Vec`.
+//! * The per-session epoch fence is a cache-padded [`StripedMap`], so
+//!   concurrent handshakes on different I/O threads do not serialise.
+//!
 //! The full wire contract (byte layout, handshake, dedupe across
-//! reconnect, failure modes) is specified in `docs/NETWORK.md`.
+//! reconnect, failure modes) is specified in `docs/NETWORK.md`, including
+//! the buffer-ownership rules for pooled bodies.
+//!
+//! [`ScratchLease`]: dpr_core::ScratchLease
+//! [`StripedMap`]: dpr_core::StripedMap
 
+use crate::message::{ClusterOp, OpResult};
 use crate::metrics;
-use crate::wire::{
-    self, CutResponse, Frame, FrameKind, Hello, HelloAck, ProtoError, ProtoErrorCode, WireRequest,
-    WireResponse,
-};
+use crate::wire::{self, FrameKind, Hello, HelloAck, ProtoError, ProtoErrorCode};
 use crate::worker::Worker;
-use dpr_core::{DprError, Result, SessionId, ShardId};
+use bytes::Bytes;
+use dpr_core::{BufferPool, DprError, Result, ScratchLease, SessionId, ShardId, StripedMap};
+use libdpr::BatchHeader;
 use std::collections::HashMap;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -62,17 +84,50 @@ struct ServerCtx {
     /// Hosted shards in id order, echoed in every `HelloAck`.
     shards: Vec<ShardId>,
     /// Highest epoch accepted per session, for zombie-connection fencing.
-    /// Shared across I/O threads because a reconnect may land elsewhere.
-    epochs: parking_lot::Mutex<HashMap<SessionId, u32>>,
+    /// Striped by session: reconnect storms on different sessions fence on
+    /// different locks. Shared across I/O threads because a reconnect may
+    /// land elsewhere.
+    epochs: StripedMap<SessionId, u32>,
+}
+
+/// Per-I/O-thread reusable buffers: one read chunk plus decode/execute
+/// scratch, so a steady-state request allocates nothing on this thread.
+struct IoScratch {
+    /// Socket read staging (pooled).
+    read: ScratchLease,
+    /// Decoded ops of the frame being handled.
+    ops: Vec<ClusterOp>,
+    /// Results of the batch being executed.
+    results: Vec<OpResult>,
+    /// Decoded batch header (its `deps` vector is reused across frames).
+    header: BatchHeader,
+}
+
+impl IoScratch {
+    fn new(read_chunk: usize) -> IoScratch {
+        IoScratch {
+            read: BufferPool::global().acquire_scratch(read_chunk),
+            ops: Vec::new(),
+            results: Vec::new(),
+            header: BatchHeader {
+                session: SessionId(0),
+                world_line: dpr_core::WorldLine(0),
+                version_lower_bound: dpr_core::Version(0),
+                deps: Vec::new(),
+                first_serial: 0,
+                op_count: 0,
+            },
+        }
+    }
 }
 
 /// One client connection owned by an I/O thread.
 struct Conn {
     stream: TcpStream,
-    /// Received-but-unparsed bytes.
-    rd: Vec<u8>,
-    /// Encoded-but-unsent bytes (`wr[wr_pos..]` is pending).
-    wr: Vec<u8>,
+    /// Received-but-unparsed bytes (pooled).
+    rd: ScratchLease,
+    /// Encoded-but-unsent bytes (`wr[wr_pos..]` is pending; pooled).
+    wr: ScratchLease,
     wr_pos: usize,
     /// Set by a successful `Hello`.
     session: Option<(SessionId, u32)>,
@@ -81,22 +136,25 @@ struct Conn {
 
 impl Conn {
     fn new(stream: TcpStream) -> Conn {
+        let pool = BufferPool::global();
         Conn {
             stream,
-            rd: Vec::new(),
-            wr: Vec::new(),
+            rd: pool.acquire_scratch(4 << 10),
+            wr: pool.acquire_scratch(4 << 10),
             wr_pos: 0,
             session: None,
             open: true,
         }
     }
 
-    /// Queue an outbound frame (recorded as transmitted once encoded; the
-    /// flush loop below drains the buffer as the socket allows).
-    fn queue(&mut self, frame: &Frame) {
+    /// Encode one outbound frame into the write buffer via `f` and record
+    /// it as transmitted (the flush loop below drains the buffer as the
+    /// socket allows).
+    fn queue_with<F: FnOnce(&mut Vec<u8>)>(&mut self, f: F) {
+        let before = self.wr.len();
+        f(&mut self.wr);
         metrics::net_frames_tx().inc();
-        metrics::net_frame_bytes().record(frame.encoded_len() as u64);
-        frame.encode_into(&mut self.wr);
+        metrics::net_frame_bytes().record((self.wr.len() - before) as u64);
     }
 
     /// Write pending bytes without blocking. Returns whether progress was
@@ -167,41 +225,113 @@ impl Conn {
     /// recoverable.
     fn proto_error(&mut self, code: ProtoErrorCode, seq: u64, detail: impl Into<String>) {
         metrics::net_frame_rejects().inc();
-        let frame = ProtoError {
+        let err = ProtoError {
             code,
             detail: detail.into(),
-        }
-        .to_frame(seq);
-        self.queue(&frame);
+        };
+        self.queue_with(|wr| err.encode(wr, seq));
         if !code.recoverable() {
             self.open = false;
         }
     }
 }
 
+/// One frame lifted out of the read buffer into owned (pool-backed) form,
+/// so the connection can be mutated while it is handled.
+enum ParsedFrame {
+    Hello(Hello),
+    /// Body copied once into a pooled shared buffer; ops will be zero-copy
+    /// slices of it.
+    Request {
+        shard: u32,
+        seq: u64,
+        body: Bytes,
+    },
+    CutReq {
+        seq: u64,
+    },
+    Goodbye,
+    /// A server-only kind arrived at the server.
+    ServerOnly {
+        kind: FrameKind,
+        seq: u64,
+    },
+    /// The header was fine but the body failed to parse.
+    Malformed {
+        seq: u64,
+        detail: String,
+    },
+}
+
+/// Lift one frame's body out of the read buffer. Borrows `body` only for
+/// the duration of the copy/parse, returning owned data.
+fn parse_frame(h: &wire::FrameHeader, body: &[u8]) -> ParsedFrame {
+    match h.kind {
+        FrameKind::Hello => match Hello::from_body(body) {
+            Ok(hello) => ParsedFrame::Hello(hello),
+            Err(e) => ParsedFrame::Malformed {
+                seq: h.seq,
+                detail: e.to_string(),
+            },
+        },
+        FrameKind::Request => {
+            // One copy, read buffer → pooled shared buffer. Everything
+            // downstream (keys, values handed to the shard) is a zero-copy
+            // view of this allocation; it recycles when the views drop.
+            let mut lease = BufferPool::global().acquire_shared(body.len());
+            lease.data_mut()[..body.len()].copy_from_slice(body);
+            ParsedFrame::Request {
+                shard: h.shard,
+                seq: h.seq,
+                body: lease.freeze(body.len()),
+            }
+        }
+        FrameKind::CutReq => ParsedFrame::CutReq { seq: h.seq },
+        FrameKind::Goodbye => ParsedFrame::Goodbye,
+        FrameKind::HelloAck | FrameKind::Response | FrameKind::CutResp | FrameKind::Error => {
+            ParsedFrame::ServerOnly {
+                kind: h.kind,
+                seq: h.seq,
+            }
+        }
+    }
+}
+
 /// Parse and handle every complete frame in `conn.rd`. Returns whether any
 /// frame was handled.
-fn drain_frames(conn: &mut Conn, ctx: &ServerCtx) -> bool {
+fn drain_frames(conn: &mut Conn, ctx: &ServerCtx, scratch: &mut IoScratch) -> bool {
     let mut consumed = 0usize;
     let mut progressed = false;
     loop {
-        match wire::decode_frame(&conn.rd[consumed..]) {
+        let header = match wire::decode_header(&conn.rd[consumed..]) {
+            Ok(Some(h)) => h,
             Ok(None) => break,
-            Ok(Some((frame, used))) => {
-                consumed += used;
-                progressed = true;
-                metrics::net_frames_rx().inc();
-                metrics::net_frame_bytes().record(used as u64);
-                handle_frame(conn, &frame, ctx);
-                if !conn.open {
-                    break;
-                }
-            }
             Err(e) => {
                 // Malformed header: the stream cannot be resynchronised.
                 conn.proto_error(ProtoErrorCode::BadFrame, 0, e.to_string());
                 break;
             }
+        };
+        let total = header.frame_len();
+        if conn.rd.len() - consumed < total {
+            break;
+        }
+        metrics::net_frames_rx().inc();
+        metrics::net_frame_bytes().record(total as u64);
+        // Release the previous frame's zero-copy views before acquiring the
+        // next pooled body: while `scratch.ops` still borrows the old buffer
+        // the pool sees it busy and must evict + allocate instead of reusing.
+        scratch.ops.clear();
+        scratch.results.clear();
+        let parsed = parse_frame(
+            &header,
+            &conn.rd[consumed + wire::FRAME_HEADER_LEN..consumed + total],
+        );
+        consumed += total;
+        progressed = true;
+        apply_frame(conn, ctx, parsed, scratch);
+        if !conn.open {
+            break;
         }
     }
     if consumed > 0 {
@@ -210,24 +340,18 @@ fn drain_frames(conn: &mut Conn, ctx: &ServerCtx) -> bool {
     progressed
 }
 
-fn handle_frame(conn: &mut Conn, frame: &Frame, ctx: &ServerCtx) {
-    match frame.kind {
-        FrameKind::Hello => {
-            let hello = match Hello::from_frame(frame) {
-                Ok(h) => h,
-                Err(e) => {
-                    conn.proto_error(ProtoErrorCode::BadFrame, frame.seq, e.to_string());
-                    return;
-                }
-            };
+fn apply_frame(conn: &mut Conn, ctx: &ServerCtx, parsed: ParsedFrame, scratch: &mut IoScratch) {
+    match parsed {
+        ParsedFrame::Hello(hello) => {
             {
-                let mut epochs = ctx.epochs.lock();
+                let mut epochs = ctx.epochs.lock_for(&hello.session);
                 let latest = epochs.entry(hello.session).or_insert(0);
                 if hello.epoch < *latest {
+                    drop(epochs);
                     conn.proto_error(
                         ProtoErrorCode::StaleEpoch,
-                        frame.seq,
-                        format!("epoch {} < accepted {}", hello.epoch, *latest),
+                        0,
+                        format!("epoch {} < accepted", hello.epoch),
                     );
                     return;
                 }
@@ -245,84 +369,112 @@ fn handle_frame(conn: &mut Conn, frame: &Frame, ctx: &ServerCtx) {
                 world_line,
                 shards: ctx.shards.clone(),
             };
-            conn.queue(&ack.to_frame());
+            conn.queue_with(|wr| ack.encode(wr));
         }
-        FrameKind::Request => {
-            if conn.session.is_none() {
-                conn.proto_error(
-                    ProtoErrorCode::HandshakeRequired,
-                    frame.seq,
-                    "Request before Hello",
-                );
-                return;
-            }
-            let Some(worker) = ctx.workers.get(&frame.shard) else {
-                conn.proto_error(
-                    ProtoErrorCode::UnknownShard,
-                    frame.seq,
-                    format!("shard {} not hosted here", frame.shard),
-                );
-                return;
-            };
-            let req = match WireRequest::from_frame(frame) {
-                Ok(r) => r,
-                Err(e) => {
-                    conn.proto_error(ProtoErrorCode::BadFrame, frame.seq, e.to_string());
-                    return;
-                }
-            };
-            let outcome = if worker.dedupe_enabled() {
-                match worker.dedupe_check(&req.header) {
-                    // First delivery still executing (its connection died
-                    // mid-batch, or raced this one): the client retries.
-                    Some(None) => {
-                        conn.proto_error(
-                            ProtoErrorCode::DuplicateInFlight,
-                            frame.seq,
-                            "batch already executing",
-                        );
-                        return;
-                    }
-                    Some(Some(cached)) => Ok(cached),
-                    None => {
-                        let outcome = worker.execute_local(&req.header, &req.ops);
-                        worker.dedupe_record(&req.header, &outcome);
-                        outcome
-                    }
-                }
-            } else {
-                worker.execute_local(&req.header, &req.ops)
-            };
-            let resp = WireResponse { outcome };
-            conn.queue(&resp.to_frame(frame.shard, frame.seq));
+        ParsedFrame::Request { shard, seq, body } => {
+            handle_request(conn, ctx, shard, seq, &body, scratch);
         }
-        FrameKind::CutReq => {
+        ParsedFrame::CutReq { seq } => {
             let outcome = ctx
                 .workers
                 .values()
                 .next()
                 .ok_or(DprError::Closed)
-                .and_then(|w| w.read_cut());
+                .and_then(|w| w.read_cut_cached());
             match outcome {
-                Ok((world_line, cut)) => {
-                    let resp = CutResponse { world_line, cut };
-                    conn.queue(&resp.to_frame(frame.seq));
+                Ok(snapshot) => {
+                    let (world_line, ref cut) = *snapshot;
+                    conn.queue_with(|wr| wire::encode_cut_response(wr, seq, world_line, cut));
                 }
                 Err(e) => {
-                    conn.proto_error(ProtoErrorCode::BadFrame, frame.seq, e.to_string());
+                    conn.proto_error(ProtoErrorCode::BadFrame, seq, e.to_string());
                 }
             }
         }
-        FrameKind::Goodbye => {
+        ParsedFrame::Goodbye => {
             conn.open = false;
         }
-        // Server-emitted kinds arriving at the server are violations.
-        FrameKind::HelloAck | FrameKind::Response | FrameKind::CutResp | FrameKind::Error => {
+        ParsedFrame::ServerOnly { kind, seq } => {
             conn.proto_error(
                 ProtoErrorCode::BadFrame,
-                frame.seq,
-                format!("client sent server-only frame {:?}", frame.kind),
+                seq,
+                format!("client sent server-only frame {kind:?}"),
             );
+        }
+        ParsedFrame::Malformed { seq, detail } => {
+            conn.proto_error(ProtoErrorCode::BadFrame, seq, detail);
+        }
+    }
+}
+
+/// The request hot path: zero-copy decode into reused buffers, in-place
+/// execution, direct response encode. No heap allocation in steady state.
+fn handle_request(
+    conn: &mut Conn,
+    ctx: &ServerCtx,
+    shard: u32,
+    seq: u64,
+    body: &Bytes,
+    scratch: &mut IoScratch,
+) {
+    if conn.session.is_none() {
+        conn.proto_error(
+            ProtoErrorCode::HandshakeRequired,
+            seq,
+            "Request before Hello",
+        );
+        return;
+    }
+    let Some(worker) = ctx.workers.get(&shard) else {
+        conn.proto_error(
+            ProtoErrorCode::UnknownShard,
+            seq,
+            format!("shard {shard} not hosted here"),
+        );
+        return;
+    };
+    scratch.ops.clear();
+    if let Err(e) = wire::decode_request_body_into(body, &mut scratch.ops, &mut scratch.header) {
+        conn.proto_error(ProtoErrorCode::BadFrame, seq, e.to_string());
+        return;
+    }
+    let header = &scratch.header;
+    if worker.dedupe_enabled() {
+        match worker.dedupe_check(header) {
+            // First delivery still executing (its connection died
+            // mid-batch, or raced this one): the client retries.
+            Some(None) => {
+                conn.proto_error(
+                    ProtoErrorCode::DuplicateInFlight,
+                    seq,
+                    "batch already executing",
+                );
+                return;
+            }
+            Some(Some((reply, results))) => {
+                conn.queue_with(|wr| {
+                    wire::encode_response(wr, shard, seq, Ok((&reply, &results)));
+                });
+                return;
+            }
+            None => {}
+        }
+    }
+    scratch.results.clear();
+    match worker.execute_local_into(header, &scratch.ops, &mut scratch.results) {
+        Ok(reply) => {
+            if worker.dedupe_enabled() {
+                worker.dedupe_record_parts(header, Ok((&reply, &scratch.results)));
+            }
+            conn.queue_with(|wr| {
+                wire::encode_response(wr, shard, seq, Ok((&reply, &scratch.results)));
+            });
+        }
+        Err(e) => {
+            if worker.dedupe_enabled() {
+                worker.dedupe_record_parts(header, Err(&e));
+            }
+            conn.queue_with(|wr| wire::encode_response(wr, shard, seq, Err(&e)));
         }
     }
 }
@@ -334,7 +486,7 @@ fn io_loop(
     cfg: &NetServerConfig,
 ) {
     let mut conns: Vec<Conn> = Vec::new();
-    let mut scratch = Vec::new();
+    let mut scratch = IoScratch::new(cfg.read_chunk);
     let mut backoff = dpr_core::Backoff::new();
     loop {
         let mut progressed = false;
@@ -349,16 +501,15 @@ fn io_loop(
         if stop.load(Ordering::Acquire) {
             // Clean shutdown: tell every peer, best-effort flush, exit.
             for conn in &mut conns {
-                let bye = wire::control_frame(FrameKind::Goodbye, 0);
-                conn.queue(&bye);
+                conn.queue_with(|wr| wire::encode_control(wr, FrameKind::Goodbye, 0));
                 conn.flush();
             }
             metrics::net_conns_active().sub(conns.len() as i64);
             return;
         }
         for conn in &mut conns {
-            progressed |= conn.fill(cfg.read_chunk, &mut scratch);
-            progressed |= drain_frames(conn, ctx);
+            progressed |= conn.fill(cfg.read_chunk, &mut scratch.read);
+            progressed |= drain_frames(conn, ctx, &mut scratch);
             progressed |= conn.flush();
         }
         let before = conns.len();
@@ -415,7 +566,7 @@ impl NetServer {
         let ctx = Arc::new(ServerCtx {
             workers: workers.into_iter().map(|w| (w.shard().0, w)).collect(),
             shards,
-            epochs: parking_lot::Mutex::new(HashMap::new()),
+            epochs: StripedMap::with_default_stripes(),
         });
         let io_threads = config.io_threads.max(1);
         let mut senders = Vec::with_capacity(io_threads);

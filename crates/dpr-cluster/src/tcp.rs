@@ -12,7 +12,11 @@
 //! * [`PipelinedClient`] — one connection, many batches in flight
 //!   (windowing is the caller's policy), duplicate-safe retransmission and
 //!   reconnect-with-epoch-bump. This is the client the `netload` generator
-//!   drives.
+//!   drives, and its request/response path is allocation-free in steady
+//!   state: frames encode into recycled buffers that double as the
+//!   retransmission record, receive buffers are pooled, and response
+//!   bodies land in pooled shared buffers whose values are zero-copy
+//!   views ([`bytes::Bytes`]).
 
 use crate::message::{ClusterOp, OpResult};
 use crate::net::{NetServer, NetServerConfig};
@@ -20,7 +24,8 @@ use crate::wire::{
     self, CutResponse, Frame, FrameKind, Hello, HelloAck, ProtoError, ProtoErrorCode,
 };
 use crate::worker::Worker;
-use dpr_core::{DprError, Result, ShardId, WorldLine};
+use bytes::Bytes;
+use dpr_core::{BufferPool, DprError, Result, ScratchLease, ShardId, WorldLine};
 use libdpr::{BatchHeader, DprClientSession};
 use std::collections::HashMap;
 use std::io::{Read, Write};
@@ -35,6 +40,10 @@ pub use crate::wire::{WireRequest, WireResponse};
 /// mid-checkpoint, short enough that a hung worker surfaces as a typed
 /// [`DprError::Timeout`] instead of blocking the client forever.
 pub const DEFAULT_READ_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Encoded-request buffers a [`PipelinedClient`] keeps for reuse once their
+/// batch completes.
+const SPARE_BUFFERS: usize = 256;
 
 /// Serve one `worker` on `listener` until `stop` is set.
 ///
@@ -68,11 +77,14 @@ pub fn serve_worker(
         .expect("spawn tcp server")
 }
 
-/// One framed connection with a receive buffer.
+/// One framed connection with pooled receive and encode buffers.
 struct FramedConn {
     addr: SocketAddr,
     stream: TcpStream,
-    rd: Vec<u8>,
+    /// Received-but-unparsed bytes (pooled).
+    rd: ScratchLease,
+    /// Outbound encode staging (pooled), cleared per send.
+    enc: ScratchLease,
     next_seq: u64,
 }
 
@@ -80,22 +92,34 @@ impl FramedConn {
     fn dial(addr: SocketAddr) -> Result<FramedConn> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true).ok();
+        let pool = BufferPool::global();
         Ok(FramedConn {
             addr,
             stream,
-            rd: Vec::new(),
+            rd: pool.acquire_scratch(16 << 10),
+            enc: pool.acquire_scratch(4 << 10),
             next_seq: 1,
         })
     }
 
-    fn send(&mut self, frame: &Frame) -> Result<()> {
-        let mut buf = Vec::with_capacity(frame.encoded_len());
-        frame.encode_into(&mut buf);
-        self.stream.write_all(&buf)?;
+    /// Encode one frame via `f` into the recycled staging buffer and write
+    /// it out — no per-send allocation.
+    fn send_with<F: FnOnce(&mut Vec<u8>)>(&mut self, f: F) -> Result<()> {
+        self.enc.clear();
+        f(&mut self.enc);
+        self.stream.write_all(&self.enc)?;
         Ok(())
     }
 
-    /// Pop the next complete frame from the buffer, if any.
+    /// Write an already-encoded frame (a [`PipelinedClient`] in-flight
+    /// record) verbatim.
+    fn send_bytes(&mut self, frame: &[u8]) -> Result<()> {
+        self.stream.write_all(frame)?;
+        Ok(())
+    }
+
+    /// Pop the next complete frame from the buffer, if any (owned-`Frame`
+    /// tier, used by the synchronous client).
     fn pop_frame(&mut self) -> Result<Option<Frame>> {
         match wire::decode_frame(&self.rd)? {
             Some((frame, used)) => {
@@ -104,6 +128,27 @@ impl FramedConn {
             }
             None => Ok(None),
         }
+    }
+
+    /// Pop the next complete frame, lifting its body into a pooled shared
+    /// buffer: result values decoded from it are zero-copy views, and the
+    /// buffer recycles when they drop. The allocation-free twin of
+    /// [`FramedConn::pop_frame`].
+    fn pop_frame_pooled(&mut self) -> Result<Option<(wire::FrameHeader, Bytes)>> {
+        let header = match wire::decode_header(&self.rd)? {
+            Some(h) => h,
+            None => return Ok(None),
+        };
+        let total = header.frame_len();
+        if self.rd.len() < total {
+            return Ok(None);
+        }
+        let body = &self.rd[wire::FRAME_HEADER_LEN..total];
+        let mut lease = BufferPool::global().acquire_shared(body.len());
+        lease.data_mut()[..body.len()].copy_from_slice(body);
+        let body = lease.freeze(body.len());
+        self.rd.drain(..total);
+        Ok(Some((header, body)))
     }
 
     /// Blocking frame read with a deadline. [`DprError::Timeout`] once the
@@ -178,7 +223,7 @@ impl FramedConn {
             epoch,
             world_line: session.world_line(),
         };
-        self.send(&hello.to_frame())?;
+        self.send_with(|out| hello.encode(out))?;
         let frame = self.recv_deadline(deadline)?;
         match frame.kind {
             FrameKind::HelloAck => {
@@ -291,8 +336,7 @@ impl TcpClient {
         let conn = self.conn_for(shard)?;
         let seq = conn.next_seq;
         conn.next_seq += 1;
-        let req = WireRequest { header, ops };
-        conn.send(&req.to_frame(shard, seq))?;
+        conn.send_with(|out| wire::encode_request(out, shard, seq, &header, &ops))?;
         loop {
             let frame = conn.recv_deadline(deadline)?;
             match frame.kind {
@@ -330,9 +374,7 @@ impl TcpClient {
             .ok_or_else(|| DprError::Invalid("client has no connections".into()))?;
         let seq = conn.next_seq;
         conn.next_seq += 1;
-        let mut req = wire::control_frame(FrameKind::CutReq, seq);
-        req.shard = wire::NO_SHARD;
-        conn.send(&req)?;
+        conn.send_with(|out| wire::encode_control(out, FrameKind::CutReq, seq))?;
         loop {
             let frame = conn.recv_deadline(deadline)?;
             match frame.kind {
@@ -363,10 +405,18 @@ impl TcpClient {
 }
 
 /// One batch awaiting its response on a [`PipelinedClient`].
+///
+/// Holds the *encoded frame bytes* — which double as the retransmission
+/// record, so retries rewrite the identical frame without re-encoding —
+/// plus the scalar header facts the completion path needs. The buffer is
+/// recycled into the client's spare list when the batch completes.
 struct InflightBatch {
-    shard: ShardId,
-    header: BatchHeader,
-    ops: Vec<ClusterOp>,
+    /// The encoded `Request` frame, exactly as first sent.
+    bytes: Vec<u8>,
+    /// Serial of the first op (for the caller's completion accounting).
+    first_serial: u64,
+    /// World-line the batch was issued on (for mismatch reporting).
+    world_line: WorldLine,
     issued_at: Instant,
     sent_at: Instant,
 }
@@ -383,6 +433,20 @@ pub struct Completed {
     pub result: Result<Vec<OpResult>>,
 }
 
+/// A completed batch surfaced by [`PipelinedClient::poll_each`] — results
+/// borrow the client's reused decode scratch, so the steady-state
+/// completion path allocates nothing.
+pub struct CompletedRef<'a> {
+    /// The wire sequence number (as returned by [`PipelinedClient::issue`]).
+    pub seq: u64,
+    /// Serial of the first op in the batch.
+    pub first_serial: u64,
+    /// When the batch was first issued (for latency accounting).
+    pub issued_at: Instant,
+    /// Per-op results, or the batch's rejection.
+    pub result: std::result::Result<&'a [OpResult], DprError>,
+}
+
 /// A pipelined client session over one connection to a fan-in server: many
 /// batches in flight, explicit polling, duplicate-safe retransmission, and
 /// reconnect with an epoch bump. The windowing policy (how many batches to
@@ -395,6 +459,12 @@ pub struct PipelinedClient {
     /// Shards reachable through this connection (from the handshake).
     shards: Vec<ShardId>,
     inflight: HashMap<u64, InflightBatch>,
+    /// Recycled encode buffers from completed batches.
+    spare: Vec<Vec<u8>>,
+    /// Reused header for issuing (deps vector rebuilt in place).
+    header_scratch: BatchHeader,
+    /// Reused results buffer for decoding responses.
+    results_scratch: Vec<OpResult>,
     /// World-line mismatch observed but not yet surfaced via poll.
     world_line_failure: Option<WorldLine>,
 }
@@ -404,12 +474,24 @@ impl PipelinedClient {
     pub fn connect(session: DprClientSession, addr: SocketAddr) -> Result<PipelinedClient> {
         let mut conn = FramedConn::dial(addr)?;
         let ack = conn.handshake(&session, 1, Instant::now() + DEFAULT_READ_TIMEOUT)?;
+        let world_line = session.world_line();
+        let id = session.id();
         Ok(PipelinedClient {
             session,
             epoch: 1,
             conn,
             shards: ack.shards,
             inflight: HashMap::new(),
+            spare: Vec::new(),
+            header_scratch: BatchHeader {
+                session: id,
+                world_line,
+                version_lower_bound: dpr_core::Version::ZERO,
+                deps: Vec::new(),
+                first_serial: 0,
+                op_count: 0,
+            },
+            results_scratch: Vec::new(),
             world_line_failure: None,
         })
     }
@@ -432,26 +514,28 @@ impl PipelinedClient {
     }
 
     /// Issue one batch without waiting; returns its wire sequence number.
-    pub fn issue(&mut self, shard: ShardId, ops: Vec<ClusterOp>) -> Result<u64> {
-        let header = self.session.begin_batch(shard, ops.len() as u32)?;
+    ///
+    /// The ops are encoded straight into a recycled buffer (kept as the
+    /// retransmission record until the batch completes), so callers can
+    /// reuse their own op buffers across calls — steady state allocates
+    /// nothing.
+    pub fn issue(&mut self, shard: ShardId, ops: &[ClusterOp]) -> Result<u64> {
+        self.session
+            .begin_batch_into(shard, ops.len() as u32, &mut self.header_scratch)?;
+        let header = &self.header_scratch;
         let seq = self.conn.next_seq;
         self.conn.next_seq += 1;
-        let req = WireRequest {
-            header: header.clone(),
-            ops: ops.clone(),
+        let mut bytes = self.spare.pop().unwrap_or_default();
+        wire::encode_request(&mut bytes, shard, seq, header, ops);
+        let record = InflightBatch {
+            bytes,
+            first_serial: header.first_serial,
+            world_line: header.world_line,
+            issued_at: Instant::now(),
+            sent_at: Instant::now(),
         };
-        self.conn.send(&req.to_frame(shard, seq))?;
-        let now = Instant::now();
-        self.inflight.insert(
-            seq,
-            InflightBatch {
-                shard,
-                header,
-                ops,
-                issued_at: now,
-                sent_at: now,
-            },
-        );
+        self.conn.send_bytes(&record.bytes)?;
+        self.inflight.insert(seq, record);
         Ok(seq)
     }
 
@@ -460,7 +544,16 @@ impl PipelinedClient {
     pub fn request_cut(&mut self) -> Result<()> {
         let seq = self.conn.next_seq;
         self.conn.next_seq += 1;
-        self.conn.send(&wire::control_frame(FrameKind::CutReq, seq))
+        self.conn
+            .send_with(|out| wire::encode_control(out, FrameKind::CutReq, seq))
+    }
+
+    /// Return a completed batch's encode buffer to the spare list.
+    fn recycle(&mut self, mut bytes: Vec<u8>) {
+        if self.spare.len() < SPARE_BUFFERS {
+            bytes.clear();
+            self.spare.push(bytes);
+        }
     }
 
     /// Drain ready responses, waiting up to `wait` for bytes to arrive.
@@ -470,22 +563,54 @@ impl PipelinedClient {
     /// surfaced as [`DprError::WorldLineMismatch`] *after* the completions
     /// that preceded it have been returned by earlier calls.
     pub fn poll(&mut self, wait: Duration) -> Result<Vec<Completed>> {
-        self.conn.recv_available(wait)?;
         let mut out = Vec::new();
-        while let Some(frame) = self.conn.pop_frame()? {
-            match frame.kind {
+        self.poll_each(wait, |c| {
+            out.push(Completed {
+                seq: c.seq,
+                first_serial: c.first_serial,
+                issued_at: c.issued_at,
+                result: c.result.map(<[OpResult]>::to_vec),
+            });
+        })?;
+        Ok(out)
+    }
+
+    /// [`PipelinedClient::poll`] without the per-batch allocations: each
+    /// completion is handed to `f` as a [`CompletedRef`] whose results
+    /// borrow a reused decode buffer. Returns the number of completions
+    /// delivered. Semantics (cut handling, retryable protocol errors,
+    /// world-line failure surfacing) are identical to `poll`.
+    pub fn poll_each(
+        &mut self,
+        wait: Duration,
+        mut f: impl FnMut(CompletedRef<'_>),
+    ) -> Result<usize> {
+        self.conn.recv_available(wait)?;
+        let mut delivered = 0usize;
+        while let Some((header, body)) = self.conn.pop_frame_pooled()? {
+            match header.kind {
                 FrameKind::Response => {
-                    let Some(batch) = self.inflight.remove(&frame.seq) else {
+                    let Some(batch) = self.inflight.remove(&header.seq) else {
                         continue; // response to a superseded transmission
                     };
-                    let resp = WireResponse::from_frame(&frame)?;
-                    let result = match resp.outcome {
-                        Ok((reply, results)) => match self.session.process_reply(&reply) {
-                            Ok(()) => Ok(results),
+                    // Scratch is moved out so the borrow handed to `f`
+                    // cannot alias the client while it runs.
+                    let mut results = std::mem::take(&mut self.results_scratch);
+                    results.clear();
+                    let outcome = match wire::decode_response_body(&body, &mut results) {
+                        Ok(o) => o,
+                        Err(e) => {
+                            self.results_scratch = results;
+                            return Err(e);
+                        }
+                    };
+                    let result: std::result::Result<&[OpResult], DprError> = match outcome {
+                        Ok(reply) => match self.session.process_reply(&reply) {
+                            Ok(()) => Ok(results.as_slice()),
                             Err(DprError::WorldLineMismatch { current, .. }) => {
                                 self.world_line_failure = Some(current);
                                 Err(DprError::WorldLineMismatch {
-                                    requested: batch.header.world_line,
+                                    requested: batch.world_line,
                                     current,
                                 })
                             }
@@ -498,21 +623,24 @@ impl PipelinedClient {
                             Err(e)
                         }
                     };
-                    out.push(Completed {
-                        seq: frame.seq,
-                        first_serial: batch.header.first_serial,
+                    f(CompletedRef {
+                        seq: header.seq,
+                        first_serial: batch.first_serial,
                         issued_at: batch.issued_at,
                         result,
                     });
+                    delivered += 1;
+                    self.results_scratch = results;
+                    self.recycle(batch.bytes);
                 }
                 FrameKind::CutResp => {
-                    let resp = CutResponse::from_frame(&frame)?;
+                    let resp = CutResponse::from_body(&body)?;
                     if resp.world_line == self.session.world_line() {
                         self.session.refresh_commit(&resp.cut);
                     }
                 }
                 FrameKind::Error => {
-                    let err = ProtoError::from_frame(&frame)?;
+                    let err = ProtoError::from_body(&body)?;
                     match err.code {
                         // Retryable: the batch stays in flight and will be
                         // retransmitted by `retransmit_stalled`.
@@ -528,7 +656,7 @@ impl PipelinedClient {
                 }
             }
         }
-        if out.is_empty() {
+        if delivered == 0 {
             if let Some(current) = self.world_line_failure {
                 return Err(DprError::WorldLineMismatch {
                     requested: self.session.world_line(),
@@ -536,13 +664,16 @@ impl PipelinedClient {
                 });
             }
         }
-        Ok(out)
+        Ok(delivered)
     }
 
     /// Retransmit every batch whose response has been outstanding for at
     /// least `older_than`. Safe for non-idempotent ops only when the
     /// server runs duplicate suppression (`dedupe_window > 0`); see
     /// `docs/NETWORK.md` §6. Returns the number retransmitted.
+    ///
+    /// Resends are the stored frame bytes verbatim — same seq, same
+    /// serials — which is what makes them safe to dedupe server-side.
     pub fn retransmit_stalled(&mut self, older_than: Duration) -> Result<usize> {
         let now = Instant::now();
         let mut resent = 0usize;
@@ -555,12 +686,7 @@ impl PipelinedClient {
         for seq in stalled {
             let batch = self.inflight.get_mut(&seq).expect("collected above");
             batch.sent_at = now;
-            let req = WireRequest {
-                header: batch.header.clone(),
-                ops: batch.ops.clone(),
-            };
-            let frame = req.to_frame(batch.shard, seq);
-            self.conn.send(&frame)?;
+            self.conn.send_bytes(&batch.bytes)?;
             resent += 1;
         }
         Ok(resent)
@@ -585,12 +711,7 @@ impl PipelinedClient {
         for seq in seqs {
             let batch = self.inflight.get_mut(&seq).expect("own key");
             batch.sent_at = now;
-            let req = WireRequest {
-                header: batch.header.clone(),
-                ops: batch.ops.clone(),
-            };
-            let frame = req.to_frame(batch.shard, seq);
-            self.conn.send(&frame)?;
+            self.conn.send_bytes(&batch.bytes)?;
         }
         Ok(())
     }

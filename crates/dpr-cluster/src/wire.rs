@@ -11,8 +11,28 @@
 //! integers and `u32`-length-prefixed byte strings — no varints, no
 //! self-describing envelope — so offsets are computable from the spec
 //! table. JSON (the old `tcp.rs` stub format) is gone from the wire.
+//!
+//! # Zero-copy hot path
+//!
+//! The codec has two tiers:
+//!
+//! * **Owned tier** — [`Frame`] (body held as [`Bytes`]) with
+//!   [`decode_frame`] and the `to_frame` constructors. Simple, allocates
+//!   per frame; used by handshakes, tests, and as the reference
+//!   implementation the zero-copy tier is property-tested against.
+//! * **Zero-copy tier** — [`decode_header`] validates a header (including
+//!   the per-kind body-length bound — *before* anything is sliced or
+//!   copied), after which the caller hands the body to the `from_body`
+//!   parsers. [`WireRequest::from_body`] / [`WireResponse::from_body`]
+//!   take the body as a [`Bytes`] view (typically frozen from a pooled
+//!   `dpr_core::pool::SharedLease`) and cut keys/values out of it with
+//!   [`Bytes::slice`] — no per-op allocation. Encoding writes straight
+//!   into a caller-supplied buffer via [`begin_frame`] / [`end_frame`]
+//!   (the body length is back-patched), so no intermediate body `Vec` is
+//!   built either. Buffer-ownership rules live in `docs/NETWORK.md`.
 
 use crate::message::{ClusterOp, OpResult};
+use bytes::Bytes;
 use dpr_core::{DprError, Key, Result, SessionId, ShardId, Token, Value, Version, WorldLine};
 use dpr_metadata::Cut;
 use libdpr::{BatchHeader, BatchReply};
@@ -39,6 +59,9 @@ pub const NO_SHARD: u32 = u32::MAX;
 /// huge allocation before the body bytes actually arrive).
 const MAX_DEPS: usize = 1 << 16;
 const MAX_OPS: usize = 1 << 20;
+
+/// Upper bound on a [`FrameKind::Error`] detail string.
+const MAX_ERROR_DETAIL: usize = 1 << 16;
 
 /// Frame kinds (header byte 5).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -78,9 +101,57 @@ impl FrameKind {
             _ => return None,
         })
     }
+
+    /// Largest body this kind may legally carry. Checked by
+    /// [`decode_header`] before any body byte is sliced or copied, so a
+    /// forged length prefix is rejected as the typed protocol error
+    /// instead of driving a copy or allocation.
+    #[must_use]
+    pub fn max_body_len(self) -> usize {
+        match self {
+            // session(8) + epoch(4) + world_line(8)
+            FrameKind::Hello => 20,
+            // epoch(4) + world_line(8) + count(4) + count × shard(4)
+            FrameKind::HelloAck => 16 + 4 * MAX_DEPS,
+            FrameKind::Request | FrameKind::Response => MAX_FRAME_BODY,
+            FrameKind::CutReq | FrameKind::Goodbye => 0,
+            // world_line(8) + count(4) + count × (shard(4) + version(8))
+            FrameKind::CutResp => 12 + 12 * MAX_DEPS,
+            // code(2) + len(4) + detail
+            FrameKind::Error => 6 + MAX_ERROR_DETAIL,
+        }
+    }
 }
 
-/// One frame: the parsed header plus the raw body bytes.
+/// A validated frame header: everything [`decode_header`] could check
+/// without touching body bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameHeader {
+    /// Frame kind.
+    pub kind: FrameKind,
+    /// Shard route ([`NO_SHARD`] when not applicable).
+    pub shard: u32,
+    /// Client-assigned sequence number.
+    pub seq: u64,
+    /// Body length declared by the header (already bounds-checked against
+    /// [`FrameKind::max_body_len`]).
+    pub body_len: usize,
+}
+
+impl FrameHeader {
+    /// Total encoded frame length (header + body).
+    #[must_use]
+    pub fn frame_len(&self) -> usize {
+        FRAME_HEADER_LEN + self.body_len
+    }
+}
+
+/// One frame: the parsed header plus the body bytes.
+///
+/// This is the *owned* tier of the codec — `body` is a cheaply cloneable
+/// [`Bytes`]. The zero-copy hot path never materialises a `Frame`; it
+/// parses straight from the connection buffer via [`decode_header`] +
+/// `from_body`.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Frame {
     /// Frame kind.
@@ -91,20 +162,15 @@ pub struct Frame {
     /// [`FrameKind::Response`] / [`FrameKind::CutResp`] / [`FrameKind::Error`].
     pub seq: u64,
     /// Kind-specific body.
-    pub body: Vec<u8>,
+    pub body: Bytes,
 }
 
 impl Frame {
     /// Append the encoded frame to `out`.
     pub fn encode_into(&self, out: &mut Vec<u8>) {
-        out.extend_from_slice(&MAGIC);
-        out.push(WIRE_VERSION);
-        out.push(self.kind as u8);
-        out.extend_from_slice(&0u16.to_le_bytes()); // flags: reserved, zero
-        out.extend_from_slice(&self.shard.to_le_bytes());
-        out.extend_from_slice(&self.seq.to_le_bytes());
-        out.extend_from_slice(&(self.body.len() as u32).to_le_bytes());
+        let start = begin_frame(out, self.kind, self.shard, self.seq);
         out.extend_from_slice(&self.body);
+        end_frame(out, start);
     }
 
     /// Total encoded length.
@@ -114,13 +180,44 @@ impl Frame {
     }
 }
 
-/// Try to decode one frame from the front of `buf`.
+/// Begin writing a frame directly into `out`: writes the header with a
+/// zero body length and returns the body-start offset to pass to
+/// [`end_frame`], which back-patches the real length. Between the two
+/// calls, append body bytes to `out` (e.g. with the `WireRequest` /
+/// `WireResponse` body writers). No intermediate body buffer is built.
+#[must_use]
+pub fn begin_frame(out: &mut Vec<u8>, kind: FrameKind, shard: u32, seq: u64) -> usize {
+    out.extend_from_slice(&MAGIC);
+    out.push(WIRE_VERSION);
+    out.push(kind as u8);
+    out.extend_from_slice(&0u16.to_le_bytes()); // flags: reserved, zero
+    out.extend_from_slice(&shard.to_le_bytes());
+    out.extend_from_slice(&seq.to_le_bytes());
+    out.extend_from_slice(&0u32.to_le_bytes()); // body length, patched below
+    out.len()
+}
+
+/// Back-patch the body length of a frame begun with [`begin_frame`].
 ///
-/// Returns `Ok(None)` when `buf` holds only a prefix of a frame (read more
-/// bytes), `Ok(Some((frame, consumed)))` on success, and `Err` on a
-/// malformed header — after which the stream is unrecoverable and the
-/// connection must be closed.
-pub fn decode_frame(buf: &[u8]) -> Result<Option<(Frame, usize)>> {
+/// # Panics
+/// If `body_start` does not point just past a frame header in `out`, or
+/// the body exceeds `u32::MAX`.
+pub fn end_frame(out: &mut [u8], body_start: usize) {
+    assert!(body_start >= FRAME_HEADER_LEN && body_start <= out.len());
+    let body_len = u32::try_from(out.len() - body_start).expect("frame body exceeds u32");
+    out[body_start - 4..body_start].copy_from_slice(&body_len.to_le_bytes());
+}
+
+/// Validate and decode one frame *header* from the front of `buf`.
+///
+/// Returns `Ok(None)` when fewer than [`FRAME_HEADER_LEN`] bytes are
+/// available. On success the declared body length has already been checked
+/// against both [`MAX_FRAME_BODY`] and the per-kind bound
+/// ([`FrameKind::max_body_len`]) — callers may trust
+/// [`FrameHeader::body_len`] before a single body byte has been sliced or
+/// copied. `Err` means the stream is unrecoverable and the connection must
+/// be closed.
+pub fn decode_header(buf: &[u8]) -> Result<Option<FrameHeader>> {
     if buf.len() < FRAME_HEADER_LEN {
         return Ok(None);
     }
@@ -153,16 +250,40 @@ pub fn decode_frame(buf: &[u8]) -> Result<Option<(Frame, usize)>> {
             "oversized frame body {body_len}"
         )));
     }
-    let total = FRAME_HEADER_LEN + body_len;
+    if body_len > kind.max_body_len() {
+        return Err(DprError::Invalid(format!(
+            "{kind:?} body of {body_len} bytes exceeds the kind's bound {}",
+            kind.max_body_len()
+        )));
+    }
+    Ok(Some(FrameHeader {
+        kind,
+        shard,
+        seq,
+        body_len,
+    }))
+}
+
+/// Try to decode one frame from the front of `buf` (owned tier).
+///
+/// Returns `Ok(None)` when `buf` holds only a prefix of a frame (read more
+/// bytes), `Ok(Some((frame, consumed)))` on success, and `Err` on a
+/// malformed header — after which the stream is unrecoverable and the
+/// connection must be closed.
+pub fn decode_frame(buf: &[u8]) -> Result<Option<(Frame, usize)>> {
+    let Some(h) = decode_header(buf)? else {
+        return Ok(None);
+    };
+    let total = h.frame_len();
     if buf.len() < total {
         return Ok(None);
     }
     Ok(Some((
         Frame {
-            kind,
-            shard,
-            seq,
-            body: buf[FRAME_HEADER_LEN..total].to_vec(),
+            kind: h.kind,
+            shard: h.shard,
+            seq: h.seq,
+            body: Bytes::copy_from_slice(&buf[FRAME_HEADER_LEN..total]),
         },
         total,
     )))
@@ -243,6 +364,19 @@ impl<'a> Cursor<'a> {
         self.take(len)
     }
 
+    /// Like [`Cursor::bytes`] but returns the *range* of the string within
+    /// the body, so callers holding the body as [`Bytes`] can take a
+    /// zero-copy [`Bytes::slice`] instead of copying.
+    fn bytes_range(&mut self) -> Result<std::ops::Range<usize>> {
+        let len = self.u32()? as usize;
+        if len > MAX_FRAME_BODY {
+            return Err(DprError::Invalid(format!("oversized byte string {len}")));
+        }
+        let start = self.pos;
+        self.take(len)?;
+        Ok(start..start + len)
+    }
+
     fn string(&mut self) -> Result<String> {
         let b = self.bytes()?;
         String::from_utf8(b.to_vec()).map_err(|_| DprError::Invalid("non-UTF-8 string".into()))
@@ -281,6 +415,15 @@ pub struct Hello {
 }
 
 impl Hello {
+    /// Append the encoded frame to `out` (no intermediate body buffer).
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        let start = begin_frame(out, FrameKind::Hello, NO_SHARD, 0);
+        put_u64(out, self.session.0);
+        put_u32(out, self.epoch);
+        put_u64(out, self.world_line.0);
+        end_frame(out, start);
+    }
+
     /// Build the frame (Hello carries no shard route; `seq` 0 by convention).
     #[must_use]
     pub fn to_frame(&self) -> Frame {
@@ -292,13 +435,13 @@ impl Hello {
             kind: FrameKind::Hello,
             shard: NO_SHARD,
             seq: 0,
-            body,
+            body: Bytes::from(body),
         }
     }
 
-    /// Parse from a [`FrameKind::Hello`] frame body.
-    pub fn from_frame(f: &Frame) -> Result<Hello> {
-        let mut c = Cursor::new(&f.body);
+    /// Parse from a [`FrameKind::Hello`] body.
+    pub fn from_body(body: &[u8]) -> Result<Hello> {
+        let mut c = Cursor::new(body);
         let hello = Hello {
             session: SessionId(c.u64()?),
             epoch: c.u32()?,
@@ -306,6 +449,11 @@ impl Hello {
         };
         c.finish()?;
         Ok(hello)
+    }
+
+    /// Parse from a [`FrameKind::Hello`] frame.
+    pub fn from_frame(f: &Frame) -> Result<Hello> {
+        Hello::from_body(&f.body)
     }
 }
 
@@ -323,27 +471,33 @@ pub struct HelloAck {
 }
 
 impl HelloAck {
+    /// Append the encoded frame to `out` (no intermediate body buffer).
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        let start = begin_frame(out, FrameKind::HelloAck, NO_SHARD, 0);
+        put_u32(out, self.epoch);
+        put_u64(out, self.world_line.0);
+        put_u32(out, self.shards.len() as u32);
+        for s in &self.shards {
+            put_u32(out, s.0);
+        }
+        end_frame(out, start);
+    }
+
     /// Build the frame.
     #[must_use]
     pub fn to_frame(&self) -> Frame {
-        let mut body = Vec::with_capacity(16 + 4 * self.shards.len());
-        put_u32(&mut body, self.epoch);
-        put_u64(&mut body, self.world_line.0);
-        put_u32(&mut body, self.shards.len() as u32);
-        for s in &self.shards {
-            put_u32(&mut body, s.0);
-        }
-        Frame {
-            kind: FrameKind::HelloAck,
-            shard: NO_SHARD,
-            seq: 0,
-            body,
-        }
+        let mut out = Vec::with_capacity(FRAME_HEADER_LEN + 16 + 4 * self.shards.len());
+        self.encode(&mut out);
+        let (frame, used) = decode_frame(&out)
+            .expect("self-encoded HelloAck decodes")
+            .expect("complete frame");
+        debug_assert_eq!(used, out.len());
+        frame
     }
 
-    /// Parse from a [`FrameKind::HelloAck`] frame body.
-    pub fn from_frame(f: &Frame) -> Result<HelloAck> {
-        let mut c = Cursor::new(&f.body);
+    /// Parse from a [`FrameKind::HelloAck`] body.
+    pub fn from_body(body: &[u8]) -> Result<HelloAck> {
+        let mut c = Cursor::new(body);
         let epoch = c.u32()?;
         let world_line = WorldLine(c.u64()?);
         let n = c.u32()? as usize;
@@ -360,6 +514,11 @@ impl HelloAck {
             world_line,
             shards,
         })
+    }
+
+    /// Parse from a [`FrameKind::HelloAck`] frame.
+    pub fn from_frame(f: &Frame) -> Result<HelloAck> {
+        HelloAck::from_body(&f.body)
     }
 }
 
@@ -397,29 +556,39 @@ fn put_header(out: &mut Vec<u8>, h: &BatchHeader) {
 }
 
 fn get_header(c: &mut Cursor<'_>) -> Result<BatchHeader> {
-    let session = SessionId(c.u64()?);
-    let world_line = WorldLine(c.u64()?);
-    let version_lower_bound = Version(c.u64()?);
-    let first_serial = c.u64()?;
-    let op_count = c.u32()?;
+    let mut h = BatchHeader {
+        session: SessionId(0),
+        world_line: WorldLine(0),
+        version_lower_bound: Version(0),
+        deps: Vec::new(),
+        first_serial: 0,
+        op_count: 0,
+    };
+    get_header_into(c, &mut h)?;
+    Ok(h)
+}
+
+/// Decode a batch header into `h`, reusing its `deps` allocation. The
+/// steady-state twin of [`get_header`] for callers that keep a header
+/// scratch across frames.
+fn get_header_into(c: &mut Cursor<'_>, h: &mut BatchHeader) -> Result<()> {
+    h.session = SessionId(c.u64()?);
+    h.world_line = WorldLine(c.u64()?);
+    h.version_lower_bound = Version(c.u64()?);
+    h.first_serial = c.u64()?;
+    h.op_count = c.u32()?;
     let ndeps = c.u32()? as usize;
     if ndeps > MAX_DEPS {
         return Err(DprError::Invalid(format!("absurd dep count {ndeps}")));
     }
-    let mut deps = Vec::with_capacity(ndeps);
+    h.deps.clear();
+    h.deps.reserve(ndeps);
     for _ in 0..ndeps {
         let shard = ShardId(c.u32()?);
         let version = Version(c.u64()?);
-        deps.push(Token::new(shard, version));
+        h.deps.push(Token::new(shard, version));
     }
-    Ok(BatchHeader {
-        session,
-        world_line,
-        version_lower_bound,
-        deps,
-        first_serial,
-        op_count,
-    })
+    Ok(())
 }
 
 fn put_op(out: &mut Vec<u8>, op: &ClusterOp) {
@@ -444,13 +613,15 @@ fn put_op(out: &mut Vec<u8>, op: &ClusterOp) {
     }
 }
 
-fn get_op(c: &mut Cursor<'_>) -> Result<ClusterOp> {
+/// Decode one op, slicing key/value out of `body` zero-copy. The cursor
+/// must be positioned inside `body`'s slice.
+fn get_op(c: &mut Cursor<'_>, body: &Bytes) -> Result<ClusterOp> {
     let tag = c.u8()?;
-    let key = Key(bytes::Bytes::copy_from_slice(c.bytes()?));
+    let key = Key(body.slice(c.bytes_range()?));
     Ok(match tag {
         0 => ClusterOp::Read(key),
         1 => {
-            let value = Value(bytes::Bytes::copy_from_slice(c.bytes()?));
+            let value = Value(body.slice(c.bytes_range()?));
             ClusterOp::Upsert(key, value)
         }
         2 => ClusterOp::Incr(key),
@@ -470,10 +641,11 @@ fn put_op_result(out: &mut Vec<u8>, r: &OpResult) {
     }
 }
 
-fn get_op_result(c: &mut Cursor<'_>) -> Result<OpResult> {
+/// Decode one op result, slicing values out of `body` zero-copy.
+fn get_op_result(c: &mut Cursor<'_>, body: &Bytes) -> Result<OpResult> {
     Ok(match c.u8()? {
         0 => OpResult::Value(None),
-        1 => OpResult::Value(Some(Value(bytes::Bytes::copy_from_slice(c.bytes()?)))),
+        1 => OpResult::Value(Some(Value(body.slice(c.bytes_range()?)))),
         2 => OpResult::Done,
         t => return Err(DprError::Invalid(format!("unknown op-result tag {t}"))),
     })
@@ -569,71 +741,138 @@ fn get_dpr_error(c: &mut Cursor<'_>) -> Result<DprError> {
     })
 }
 
+/// Append an encoded [`FrameKind::Request`] frame directly to `out` —
+/// header, batch header, and ops, with no intermediate body buffer. The
+/// allocation-free twin of [`WireRequest::to_frame`].
+pub fn encode_request(
+    out: &mut Vec<u8>,
+    shard: ShardId,
+    seq: u64,
+    header: &BatchHeader,
+    ops: &[ClusterOp],
+) {
+    let start = begin_frame(out, FrameKind::Request, shard.0, seq);
+    put_header(out, header);
+    put_u32(out, ops.len() as u32);
+    for op in ops {
+        put_op(out, op);
+    }
+    end_frame(out, start);
+}
+
+/// Decode a [`FrameKind::Request`] body into a caller-provided ops buffer
+/// (appended), returning the batch header. Keys and values are sliced out
+/// of `body` zero-copy; reusing `ops` across frames makes the steady-state
+/// decode allocation-free.
+pub fn decode_request_body(body: &Bytes, ops: &mut Vec<ClusterOp>) -> Result<BatchHeader> {
+    let mut c = Cursor::new(body);
+    let header = get_header(&mut c)?;
+    decode_ops(c, body, ops)?;
+    Ok(header)
+}
+
+/// Like [`decode_request_body`], but also reuses the caller's header
+/// (including its `deps` vector) — the fully allocation-free decode used by
+/// the server's per-connection scratch.
+pub fn decode_request_body_into(
+    body: &Bytes,
+    ops: &mut Vec<ClusterOp>,
+    header: &mut BatchHeader,
+) -> Result<()> {
+    let mut c = Cursor::new(body);
+    get_header_into(&mut c, header)?;
+    decode_ops(c, body, ops)
+}
+
+fn decode_ops(mut c: Cursor<'_>, body: &Bytes, ops: &mut Vec<ClusterOp>) -> Result<()> {
+    let nops = c.u32()? as usize;
+    if nops > MAX_OPS {
+        return Err(DprError::Invalid(format!("absurd op count {nops}")));
+    }
+    ops.reserve(nops);
+    for _ in 0..nops {
+        ops.push(get_op(&mut c, body)?);
+    }
+    c.finish()
+}
+
 impl WireRequest {
     /// Build the frame, routed to `shard` with correlation id `seq`.
     #[must_use]
     pub fn to_frame(&self, shard: ShardId, seq: u64) -> Frame {
-        let mut body = Vec::with_capacity(64 + 16 * self.ops.len());
-        put_header(&mut body, &self.header);
-        put_u32(&mut body, self.ops.len() as u32);
-        for op in &self.ops {
-            put_op(&mut body, op);
-        }
-        Frame {
-            kind: FrameKind::Request,
-            shard: shard.0,
-            seq,
-            body,
-        }
+        let mut out = Vec::with_capacity(FRAME_HEADER_LEN + 64 + 16 * self.ops.len());
+        encode_request(&mut out, shard, seq, &self.header, &self.ops);
+        let (frame, used) = decode_frame(&out)
+            .expect("self-encoded request decodes")
+            .expect("complete frame");
+        debug_assert_eq!(used, out.len());
+        frame
     }
 
-    /// Parse from a [`FrameKind::Request`] frame body.
-    pub fn from_frame(f: &Frame) -> Result<WireRequest> {
-        let mut c = Cursor::new(&f.body);
-        let header = get_header(&mut c)?;
-        let nops = c.u32()? as usize;
-        if nops > MAX_OPS {
-            return Err(DprError::Invalid(format!("absurd op count {nops}")));
-        }
-        let mut ops = Vec::with_capacity(nops);
-        for _ in 0..nops {
-            ops.push(get_op(&mut c)?);
-        }
-        c.finish()?;
+    /// Parse from a [`FrameKind::Request`] body, slicing keys and values
+    /// out of `body` zero-copy (small ones inline; larger ones share
+    /// `body`'s backing allocation).
+    pub fn from_body(body: &Bytes) -> Result<WireRequest> {
+        let mut ops = Vec::new();
+        let header = decode_request_body(body, &mut ops)?;
         Ok(WireRequest { header, ops })
     }
+
+    /// Parse from a [`FrameKind::Request`] frame.
+    pub fn from_frame(f: &Frame) -> Result<WireRequest> {
+        WireRequest::from_body(&f.body)
+    }
+}
+
+/// Append an encoded [`FrameKind::Response`] frame directly to `out` with
+/// no intermediate body buffer. The allocation-free twin of
+/// [`WireResponse::to_frame`]: the server borrows the reply and results it
+/// just computed instead of moving them into a `WireResponse`.
+pub fn encode_response(
+    out: &mut Vec<u8>,
+    shard: u32,
+    seq: u64,
+    outcome: std::result::Result<(&BatchReply, &[OpResult]), &DprError>,
+) {
+    let start = begin_frame(out, FrameKind::Response, shard, seq);
+    match outcome {
+        Ok((reply, results)) => {
+            put_u8(out, 0);
+            put_reply(out, reply);
+            put_u32(out, results.len() as u32);
+            for r in results {
+                put_op_result(out, r);
+            }
+        }
+        Err(e) => {
+            put_u8(out, 1);
+            put_dpr_error(out, e);
+        }
+    }
+    end_frame(out, start);
 }
 
 impl WireResponse {
     /// Build the frame, echoing the request's `shard` and `seq`.
     #[must_use]
     pub fn to_frame(&self, shard: u32, seq: u64) -> Frame {
-        let mut body = Vec::with_capacity(64);
-        match &self.outcome {
-            Ok((reply, results)) => {
-                put_u8(&mut body, 0);
-                put_reply(&mut body, reply);
-                put_u32(&mut body, results.len() as u32);
-                for r in results {
-                    put_op_result(&mut body, r);
-                }
-            }
-            Err(e) => {
-                put_u8(&mut body, 1);
-                put_dpr_error(&mut body, e);
-            }
-        }
-        Frame {
-            kind: FrameKind::Response,
-            shard,
-            seq,
-            body,
-        }
+        let mut out = Vec::with_capacity(FRAME_HEADER_LEN + 64);
+        let borrowed = match &self.outcome {
+            Ok((reply, results)) => Ok((reply, results.as_slice())),
+            Err(e) => Err(e),
+        };
+        encode_response(&mut out, shard, seq, borrowed);
+        let (frame, used) = decode_frame(&out)
+            .expect("self-encoded response decodes")
+            .expect("complete frame");
+        debug_assert_eq!(used, out.len());
+        frame
     }
 
-    /// Parse from a [`FrameKind::Response`] frame body.
-    pub fn from_frame(f: &Frame) -> Result<WireResponse> {
-        let mut c = Cursor::new(&f.body);
+    /// Parse from a [`FrameKind::Response`] body, slicing result values
+    /// out of `body` zero-copy.
+    pub fn from_body(body: &Bytes) -> Result<WireResponse> {
+        let mut c = Cursor::new(body);
         let outcome = match c.u8()? {
             0 => {
                 let reply = get_reply(&mut c)?;
@@ -643,7 +882,7 @@ impl WireResponse {
                 }
                 let mut results = Vec::with_capacity(n);
                 for _ in 0..n {
-                    results.push(get_op_result(&mut c)?);
+                    results.push(get_op_result(&mut c, body)?);
                 }
                 Ok((reply, results))
             }
@@ -653,6 +892,49 @@ impl WireResponse {
         c.finish()?;
         Ok(WireResponse { outcome })
     }
+
+    /// Parse from a [`FrameKind::Response`] frame.
+    pub fn from_frame(f: &Frame) -> Result<WireResponse> {
+        WireResponse::from_body(&f.body)
+    }
+}
+
+/// Parse a [`FrameKind::Response`] body into a caller-owned results buffer
+/// — the zero-copy counterpart of [`WireResponse::from_body`] for the
+/// pipelined client's steady state: result values are sliced out of `body`
+/// and appended to `results`, so a reused buffer makes decoding
+/// allocation-free.
+///
+/// Returns `Ok(Ok(reply))` for a successful batch (results appended) or
+/// `Ok(Err(e))` for a batch-level rejection (nothing appended).
+///
+/// # Errors
+/// On a malformed body (the connection-fatal tier, distinct from the
+/// in-band batch error).
+pub fn decode_response_body(
+    body: &Bytes,
+    results: &mut Vec<OpResult>,
+) -> Result<std::result::Result<BatchReply, DprError>> {
+    let mut c = Cursor::new(body);
+    let outcome = match c.u8()? {
+        0 => {
+            let reply = get_reply(&mut c)?;
+            let n = c.u32()? as usize;
+            if n > MAX_OPS {
+                return Err(DprError::Invalid(format!("absurd result count {n}")));
+            }
+            results.reserve(n);
+            for _ in 0..n {
+                let r = get_op_result(&mut c, body)?;
+                results.push(r);
+            }
+            Ok(reply)
+        }
+        1 => Err(get_dpr_error(&mut c)?),
+        t => return Err(DprError::Invalid(format!("unknown outcome tag {t}"))),
+    };
+    c.finish()?;
+    Ok(outcome)
 }
 
 // ---------------------------------------------------------------------------
@@ -671,27 +953,26 @@ pub struct CutResponse {
 }
 
 impl CutResponse {
+    /// Append the encoded frame to `out` (no intermediate body buffer).
+    pub fn encode(&self, out: &mut Vec<u8>, seq: u64) {
+        encode_cut_response(out, seq, self.world_line, &self.cut);
+    }
+
     /// Build the frame, echoing the [`FrameKind::CutReq`]'s `seq`.
     #[must_use]
     pub fn to_frame(&self, seq: u64) -> Frame {
-        let mut body = Vec::with_capacity(16 + 12 * self.cut.len());
-        put_u64(&mut body, self.world_line.0);
-        put_u32(&mut body, self.cut.len() as u32);
-        for (shard, version) in &self.cut {
-            put_u32(&mut body, shard.0);
-            put_u64(&mut body, version.0);
-        }
-        Frame {
-            kind: FrameKind::CutResp,
-            shard: NO_SHARD,
-            seq,
-            body,
-        }
+        let mut out = Vec::with_capacity(FRAME_HEADER_LEN + 16 + 12 * self.cut.len());
+        self.encode(&mut out, seq);
+        let (frame, used) = decode_frame(&out)
+            .expect("self-encoded cut decodes")
+            .expect("complete frame");
+        debug_assert_eq!(used, out.len());
+        frame
     }
 
-    /// Parse from a [`FrameKind::CutResp`] frame body.
-    pub fn from_frame(f: &Frame) -> Result<CutResponse> {
-        let mut c = Cursor::new(&f.body);
+    /// Parse from a [`FrameKind::CutResp`] body.
+    pub fn from_body(body: &[u8]) -> Result<CutResponse> {
+        let mut c = Cursor::new(body);
         let world_line = WorldLine(c.u64()?);
         let n = c.u32()? as usize;
         if n > MAX_DEPS {
@@ -706,6 +987,25 @@ impl CutResponse {
         c.finish()?;
         Ok(CutResponse { world_line, cut })
     }
+
+    /// Parse from a [`FrameKind::CutResp`] frame.
+    pub fn from_frame(f: &Frame) -> Result<CutResponse> {
+        CutResponse::from_body(&f.body)
+    }
+}
+
+/// Append an encoded [`FrameKind::CutResp`] frame to `out` from borrowed
+/// parts — the allocation-free twin of [`CutResponse::encode`], used by the
+/// server to serve its cached cut without cloning it per request.
+pub fn encode_cut_response(out: &mut Vec<u8>, seq: u64, world_line: WorldLine, cut: &Cut) {
+    let start = begin_frame(out, FrameKind::CutResp, NO_SHARD, seq);
+    put_u64(out, world_line.0);
+    put_u32(out, cut.len() as u32);
+    for (shard, version) in cut {
+        put_u32(out, shard.0);
+        put_u64(out, version.0);
+    }
+    end_frame(out, start);
 }
 
 // ---------------------------------------------------------------------------
@@ -772,29 +1072,40 @@ pub struct ProtoError {
 }
 
 impl ProtoError {
+    /// Append the encoded frame to `out` (no intermediate body buffer).
+    pub fn encode(&self, out: &mut Vec<u8>, seq: u64) {
+        let start = begin_frame(out, FrameKind::Error, NO_SHARD, seq);
+        put_u16(out, self.code as u16);
+        put_str(out, &self.detail);
+        end_frame(out, start);
+    }
+
     /// Build the frame, echoing the offending frame's `seq` when known.
     #[must_use]
     pub fn to_frame(&self, seq: u64) -> Frame {
-        let mut body = Vec::with_capacity(8 + self.detail.len());
-        put_u16(&mut body, self.code as u16);
-        put_str(&mut body, &self.detail);
-        Frame {
-            kind: FrameKind::Error,
-            shard: NO_SHARD,
-            seq,
-            body,
-        }
+        let mut out = Vec::with_capacity(FRAME_HEADER_LEN + 8 + self.detail.len());
+        self.encode(&mut out, seq);
+        let (frame, used) = decode_frame(&out)
+            .expect("self-encoded error decodes")
+            .expect("complete frame");
+        debug_assert_eq!(used, out.len());
+        frame
     }
 
-    /// Parse from a [`FrameKind::Error`] frame body.
-    pub fn from_frame(f: &Frame) -> Result<ProtoError> {
-        let mut c = Cursor::new(&f.body);
+    /// Parse from a [`FrameKind::Error`] body.
+    pub fn from_body(body: &[u8]) -> Result<ProtoError> {
+        let mut c = Cursor::new(body);
         let raw = c.u16()?;
         let code = ProtoErrorCode::from_u16(raw)
             .ok_or_else(|| DprError::Invalid(format!("unknown protocol error code {raw}")))?;
         let detail = c.string()?;
         c.finish()?;
         Ok(ProtoError { code, detail })
+    }
+
+    /// Parse from a [`FrameKind::Error`] frame.
+    pub fn from_frame(f: &Frame) -> Result<ProtoError> {
+        ProtoError::from_body(&f.body)
     }
 
     /// The [`DprError`] a client surfaces for this protocol rejection.
@@ -808,6 +1119,13 @@ impl ProtoError {
     }
 }
 
+/// Append an empty-bodied frame of the given kind (`CutReq`, `Goodbye`)
+/// directly to `out`.
+pub fn encode_control(out: &mut Vec<u8>, kind: FrameKind, seq: u64) {
+    let start = begin_frame(out, kind, NO_SHARD, seq);
+    end_frame(out, start);
+}
+
 /// An empty-bodied frame of the given kind (`CutReq`, `Goodbye`).
 #[must_use]
 pub fn control_frame(kind: FrameKind, seq: u64) -> Frame {
@@ -815,7 +1133,7 @@ pub fn control_frame(kind: FrameKind, seq: u64) -> Frame {
         kind,
         shard: NO_SHARD,
         seq,
-        body: Vec::new(),
+        body: Bytes::new(),
     }
 }
 
@@ -855,6 +1173,74 @@ mod tests {
     }
 
     #[test]
+    fn direct_encode_matches_owned_encode() {
+        // begin_frame/end_frame + body writers must be byte-identical to
+        // the owned `to_frame().encode_into()` path.
+        let req = sample_request();
+        let mut owned = Vec::new();
+        req.to_frame(ShardId(3), 42).encode_into(&mut owned);
+        let mut direct = Vec::new();
+        encode_request(&mut direct, ShardId(3), 42, &req.header, &req.ops);
+        assert_eq!(owned, direct);
+
+        let resp = WireResponse {
+            outcome: Ok((
+                BatchReply {
+                    shard: ShardId(3),
+                    world_line: WorldLine(2),
+                    version: Version(41),
+                    first_serial: 1000,
+                    op_count: 2,
+                },
+                vec![OpResult::Value(Some(Value::from_u64(5))), OpResult::Done],
+            )),
+        };
+        let mut owned = Vec::new();
+        resp.to_frame(3, 42).encode_into(&mut owned);
+        let mut direct = Vec::new();
+        let outcome = match &resp.outcome {
+            Ok((r, rs)) => Ok((r, rs.as_slice())),
+            Err(e) => Err(e),
+        };
+        encode_response(&mut direct, 3, 42, outcome);
+        assert_eq!(owned, direct);
+    }
+
+    #[test]
+    fn zero_copy_decode_slices_share_large_bodies() {
+        // A value longer than the inline threshold must come back as a
+        // view into the body's backing allocation, not a copy.
+        let big_value = Value(Bytes::from(vec![0xAB; 100]));
+        let req = WireRequest {
+            header: BatchHeader {
+                session: SessionId(1),
+                world_line: WorldLine(1),
+                version_lower_bound: Version(0),
+                deps: vec![],
+                first_serial: 0,
+                op_count: 1,
+            },
+            ops: vec![ClusterOp::Upsert(Key::from_u64(1), big_value)],
+        };
+        let mut buf = Vec::new();
+        encode_request(&mut buf, ShardId(0), 1, &req.header, &req.ops);
+        let h = decode_header(&buf).unwrap().unwrap();
+        let body = Bytes::copy_from_slice(&buf[FRAME_HEADER_LEN..h.frame_len()]);
+        let decoded = WireRequest::from_body(&body).unwrap();
+        let ClusterOp::Upsert(_, v) = &decoded.ops[0] else {
+            panic!("expected upsert");
+        };
+        let body_range =
+            body.as_slice().as_ptr() as usize..body.as_slice().as_ptr() as usize + body.len();
+        let v_ptr = v.0.as_slice().as_ptr() as usize;
+        assert!(
+            body_range.contains(&v_ptr),
+            "decoded value must point into the body buffer"
+        );
+        assert_eq!(&v.0[..], &[0xAB; 100][..]);
+    }
+
+    #[test]
     fn partial_buffers_ask_for_more() {
         let mut buf = Vec::new();
         sample_request()
@@ -878,6 +1264,37 @@ mod tests {
         let mut bad = buf;
         bad[6] = 1; // nonzero flags
         assert!(decode_frame(&bad).is_err());
+    }
+
+    #[test]
+    fn per_kind_body_bounds_are_checked_before_slicing() {
+        // A CutReq claiming a body, or a Hello with the wrong size, is
+        // rejected from the header alone — even though the declared body
+        // bytes are not present in the buffer at all.
+        let mut buf = Vec::new();
+        control_frame(FrameKind::CutReq, 5).encode_into(&mut buf);
+        buf[20..24].copy_from_slice(&64u32.to_le_bytes()); // claim 64-byte body
+        assert!(
+            decode_header(&buf).is_err(),
+            "bodyful CutReq rejected without body bytes"
+        );
+
+        let mut buf = Vec::new();
+        Hello {
+            session: SessionId(1),
+            epoch: 1,
+            world_line: WorldLine(1),
+        }
+        .encode(&mut buf);
+        buf[20..24].copy_from_slice(&1024u32.to_le_bytes());
+        assert!(decode_header(&buf).is_err(), "oversize Hello rejected");
+
+        // In-bounds headers still pass.
+        let mut buf = Vec::new();
+        sample_request()
+            .to_frame(ShardId(0), 1)
+            .encode_into(&mut buf);
+        assert!(decode_header(&buf).unwrap().is_some());
     }
 
     #[test]

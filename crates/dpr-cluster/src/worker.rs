@@ -22,6 +22,22 @@ pub trait ShardStore: StateObject {
         ops: &[ClusterOp],
     ) -> Result<(Vec<OpResult>, Version)>;
 
+    /// Like [`ShardStore::execute_batch`] but appends results to a
+    /// caller-provided buffer, so steady-state callers (the network plane)
+    /// can reuse one allocation across batches. The default delegates to
+    /// [`ShardStore::execute_batch`]; hot stores override it to write
+    /// results in place.
+    fn execute_batch_into(
+        &self,
+        session: SessionId,
+        ops: &[ClusterOp],
+        out: &mut Vec<OpResult>,
+    ) -> Result<Version> {
+        let (results, version) = self.execute_batch(session, ops)?;
+        out.extend(results);
+        Ok(version)
+    }
+
     /// Snapshot the live key/value pairs (key migration, §5.3).
     fn scan_live(&self) -> Result<Vec<(dpr_core::Key, dpr_core::Value)>>;
 
@@ -102,7 +118,20 @@ enum DedupeEntry {
 struct DedupeCache {
     entries: std::collections::HashMap<(SessionId, u64), DedupeEntry>,
     order: std::collections::VecDeque<(SessionId, u64)>,
+    /// Result buffers reclaimed from evicted `Done` entries; recording a
+    /// fresh outcome reuses one, so a full window caches replies without
+    /// a per-batch allocation.
+    spare: Vec<Vec<OpResult>>,
 }
+
+/// Cap on recycled result buffers per dedupe stripe.
+const DEDUPE_SPARE_BUFFERS: usize = 32;
+
+/// One cache-padded dedupe stripe. The cache is sharded by session so
+/// concurrent sessions on different I/O threads stop serialising on one
+/// global lock (§6's "implemented scalably", applied to session state).
+#[repr(align(128))]
+struct DedupeStripe(parking_lot::Mutex<DedupeCache>);
 
 /// One shard worker.
 pub struct Worker {
@@ -118,10 +147,28 @@ pub struct Worker {
     shutdown: AtomicBool,
     /// Operations executed (all sessions) — worker-side throughput counter.
     executed_ops: AtomicU64,
-    /// Duplicate suppression for retransmitted remote batches (volatile:
-    /// a crash-restart clears it, which is safe because the rolled-back
-    /// world-line forces clients to rebuild their sessions anyway).
-    dedupe: parking_lot::Mutex<DedupeCache>,
+    /// Duplicate suppression for retransmitted remote batches, striped by
+    /// session (volatile: a crash-restart clears it, which is safe because
+    /// the rolled-back world-line forces clients to rebuild their sessions
+    /// anyway).
+    dedupe: Box<[DedupeStripe]>,
+    /// FIFO window per dedupe stripe (`config.dedupe_window` split across
+    /// the stripes).
+    dedupe_stripe_window: usize,
+    /// TTL-cached `(world_line, cut)` served to `CutReq` frames, so commit
+    /// polling from many clients does not clone the cut out of the metadata
+    /// store per request. Staleness is bounded by [`CUT_CACHE_TTL`], well
+    /// under the finder's own publish cadence.
+    cut_cache: parking_lot::Mutex<CutCache>,
+}
+
+/// See [`Worker::read_cut_cached`].
+const CUT_CACHE_TTL: Duration = Duration::from_millis(2);
+
+#[derive(Default)]
+struct CutCache {
+    at: Option<Instant>,
+    value: Option<Arc<(WorldLine, dpr_metadata::Cut)>>,
 }
 
 impl Worker {
@@ -139,6 +186,12 @@ impl Worker {
     ) -> Result<Arc<Worker>> {
         let (endpoint, inbox) = net.register();
         meta.register_worker(shard)?;
+        let stripes = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+            .next_power_of_two()
+            .min(16);
+        let dedupe_stripe_window = config.dedupe_window.div_ceil(stripes).max(1);
         let worker = Arc::new(Worker {
             shard,
             store,
@@ -151,7 +204,11 @@ impl Worker {
             config,
             shutdown: AtomicBool::new(false),
             executed_ops: AtomicU64::new(0),
-            dedupe: parking_lot::Mutex::new(DedupeCache::default()),
+            dedupe: (0..stripes)
+                .map(|_| DedupeStripe(parking_lot::Mutex::new(DedupeCache::default())))
+                .collect(),
+            dedupe_stripe_window,
+            cut_cache: parking_lot::Mutex::new(CutCache::default()),
         });
         for i in 0..worker.config.executors.max(1) {
             let weak = Arc::downgrade(&worker);
@@ -209,6 +266,20 @@ impl Worker {
         header: &BatchHeader,
         ops: &[ClusterOp],
     ) -> Result<(BatchReply, Vec<OpResult>)> {
+        let mut results = Vec::with_capacity(ops.len());
+        let reply = self.execute_local_into(header, ops, &mut results)?;
+        Ok((reply, results))
+    }
+
+    /// [`Worker::execute_local`] with a caller-provided results buffer —
+    /// the network plane's steady-state path reuses one buffer across
+    /// batches so a request allocates nothing here. Results are appended.
+    pub fn execute_local_into(
+        &self,
+        header: &BatchHeader,
+        ops: &[ClusterOp],
+        results: &mut Vec<OpResult>,
+    ) -> Result<BatchReply> {
         self.server
             .validate_blocking(header, self.store.as_ref(), Duration::from_secs(10))?;
         if self.config.validate_ownership {
@@ -218,7 +289,9 @@ impl Worker {
                 }
             }
         }
-        let (results, version) = self.store.execute_batch(header.session, ops)?;
+        let version = self
+            .store
+            .execute_batch_into(header.session, ops, results)?;
         self.executed_ops
             .fetch_add(ops.len() as u64, Ordering::Relaxed);
         crate::metrics::batches().inc();
@@ -240,7 +313,7 @@ impl Worker {
                 backoff.snooze();
             }
         }
-        Ok((self.server.make_reply(header, version), results))
+        Ok(self.server.make_reply(header, version))
     }
 
     /// Stop background threads.
@@ -252,9 +325,19 @@ impl Worker {
     /// (chaos harness, via [`crate::Cluster::inject_failure_at`]): durable
     /// state survives, the duplicate-suppression cache does not.
     pub fn simulate_crash_restart(&self) {
-        let mut cache = self.dedupe.lock();
-        cache.entries.clear();
-        cache.order.clear();
+        for stripe in &self.dedupe {
+            let mut cache = stripe.0.lock();
+            cache.entries.clear();
+            cache.order.clear();
+        }
+    }
+
+    /// The dedupe stripe owning `session` (sessions map to stripes by a
+    /// SplitMix-style hash so consecutive ids spread out).
+    fn dedupe_stripe(&self, session: SessionId) -> &parking_lot::Mutex<DedupeCache> {
+        let mut h = session.0.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        h ^= h >> 32;
+        &self.dedupe[(h as usize) % self.dedupe.len()].0
     }
 
     /// Whether duplicate suppression is enabled for remote batches.
@@ -272,6 +355,21 @@ impl Worker {
         Ok((world_line, cut))
     }
 
+    /// Like [`Worker::read_cut`], but served from a `CUT_CACHE_TTL`-bounded
+    /// cache shared by all readers: the steady-state commit-polling path
+    /// (many clients sending `CutReq` frames) costs one metadata read per
+    /// TTL instead of one cut clone per request.
+    pub fn read_cut_cached(&self) -> Result<Arc<(WorldLine, dpr_metadata::Cut)>> {
+        let mut cache = self.cut_cache.lock();
+        let stale = cache.at.is_none_or(|at| at.elapsed() >= CUT_CACHE_TTL);
+        if stale || cache.value.is_none() {
+            let fresh = Arc::new(self.read_cut()?);
+            cache.at = Some(Instant::now());
+            cache.value = Some(fresh);
+        }
+        Ok(cache.value.as_ref().expect("cache filled above").clone())
+    }
+
     /// Duplicate check for a remote batch. `None` means fresh (caller
     /// executes and records the outcome); `Some(None)` means a copy is
     /// already executing (drop the duplicate); `Some(Some(_))` replays
@@ -282,16 +380,20 @@ impl Worker {
         header: &BatchHeader,
     ) -> Option<Option<(BatchReply, Vec<OpResult>)>> {
         let key = (header.session, header.first_serial);
-        let mut cache = self.dedupe.lock();
+        let mut cache = self.dedupe_stripe(header.session).lock();
         match cache.entries.get(&key) {
             Some(DedupeEntry::Executing) => Some(None),
             Some(DedupeEntry::Done(reply, results)) => Some(Some((reply.clone(), results.clone()))),
             None => {
                 cache.entries.insert(key, DedupeEntry::Executing);
                 cache.order.push_back(key);
-                while cache.order.len() > self.config.dedupe_window {
+                while cache.order.len() > self.dedupe_stripe_window {
                     if let Some(old) = cache.order.pop_front() {
-                        cache.entries.remove(&old);
+                        if let Some(DedupeEntry::Done(_, buf)) = cache.entries.remove(&old) {
+                            if cache.spare.len() < DEDUPE_SPARE_BUFFERS {
+                                cache.spare.push(buf);
+                            }
+                        }
                     }
                 }
                 None
@@ -306,12 +408,28 @@ impl Worker {
         header: &BatchHeader,
         outcome: &Result<(BatchReply, Vec<OpResult>)>,
     ) {
+        match outcome {
+            Ok((reply, results)) => self.dedupe_record_parts(header, Ok((reply, results))),
+            Err(e) => self.dedupe_record_parts(header, Err(e)),
+        }
+    }
+
+    /// [`Worker::dedupe_record`] over borrowed parts, for callers that keep
+    /// results in a reusable buffer instead of an owned tuple.
+    pub(crate) fn dedupe_record_parts(
+        &self,
+        header: &BatchHeader,
+        outcome: std::result::Result<(&BatchReply, &[OpResult]), &DprError>,
+    ) {
         let key = (header.session, header.first_serial);
-        let mut cache = self.dedupe.lock();
+        let mut cache = self.dedupe_stripe(header.session).lock();
         match outcome {
             Ok((reply, results)) => {
+                let mut buf = cache.spare.pop().unwrap_or_default();
+                buf.clear();
+                buf.extend_from_slice(results);
                 if let Some(entry) = cache.entries.get_mut(&key) {
-                    *entry = DedupeEntry::Done(reply.clone(), results.clone());
+                    *entry = DedupeEntry::Done(reply.clone(), buf);
                 }
             }
             Err(_) => {

@@ -99,8 +99,8 @@ fn pipelined_sessions_keep_many_batches_in_flight() {
 
     // Issue a full window on every session before reading anything: the
     // server must sustain many batches in flight per connection.
-    let mut issued = vec![0u64; SESSIONS];
-    let mut completed = vec![0u64; SESSIONS];
+    let mut issued = [0u64; SESSIONS];
+    let mut completed = [0u64; SESSIONS];
     let deadline = Instant::now() + Duration::from_secs(30);
     while completed.iter().any(|&c| c < BATCHES) {
         assert!(Instant::now() < deadline, "pipelined run stalled");
@@ -109,10 +109,7 @@ fn pipelined_sessions_keep_many_batches_in_flight() {
                 let key = Key::from_u64(i as u64 * 1000 + issued[i]);
                 let shard = cluster.owner_of(&key).unwrap();
                 client
-                    .issue(
-                        shard,
-                        vec![ClusterOp::Upsert(key, Value::from_u64(issued[i]))],
-                    )
+                    .issue(shard, &[ClusterOp::Upsert(key, Value::from_u64(issued[i]))])
                     .unwrap();
                 issued[i] += 1;
             }
@@ -146,7 +143,7 @@ fn reconnect_with_epoch_bump_is_exactly_once() {
     let mut completed = 0u64;
     for _ in 0..INCRS {
         client
-            .issue(shard, vec![ClusterOp::Incr(key.clone())])
+            .issue(shard, &[ClusterOp::Incr(key.clone())])
             .unwrap();
     }
     // Let some execute, then force a reconnect with everything unacked
@@ -164,7 +161,7 @@ fn reconnect_with_epoch_bump_is_exactly_once() {
     }
 
     // Every increment applied exactly once despite the retransmissions.
-    let read_seq = client.issue(shard, vec![ClusterOp::Read(key)]).unwrap();
+    let read_seq = client.issue(shard, &[ClusterOp::Read(key)]).unwrap();
     let deadline = Instant::now() + Duration::from_secs(10);
     let value = loop {
         assert!(Instant::now() < deadline, "final read stalled");
@@ -307,7 +304,7 @@ fn unknown_shard_rejection_keeps_connection_open() {
     // recoverable Error frame, not a connection teardown...
     let bogus = ShardId(99);
     client
-        .issue(bogus, vec![ClusterOp::Read(Key::from_u64(1))])
+        .issue(bogus, &[ClusterOp::Read(Key::from_u64(1))])
         .unwrap();
     let deadline = Instant::now() + Duration::from_secs(10);
     let err = loop {
@@ -322,7 +319,7 @@ fn unknown_shard_rejection_keeps_connection_open() {
 
     // ...so the same connection still serves real traffic.
     client
-        .issue(shard, vec![ClusterOp::Read(Key::from_u64(1))])
+        .issue(shard, &[ClusterOp::Read(Key::from_u64(1))])
         .unwrap();
     let deadline = Instant::now() + Duration::from_secs(10);
     loop {

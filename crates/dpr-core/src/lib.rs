@@ -23,6 +23,8 @@ pub mod config;
 pub mod epoch;
 pub mod error;
 pub mod kv;
+pub mod pool;
+pub mod stripe;
 pub mod version;
 
 pub use backoff::Backoff;
@@ -31,4 +33,6 @@ pub use config::{CheckpointMode, DprFinderMode, RecoverabilityLevel};
 pub use epoch::LightEpoch;
 pub use error::{DprError, Result};
 pub use kv::{Key, Value};
+pub use pool::{BufferPool, ScratchLease, SharedLease};
+pub use stripe::StripedMap;
 pub use version::{SessionId, ShardId, Token, Version, WorldLine};

@@ -1,0 +1,453 @@
+//! Tiered buffer pool for the zero-copy hot path.
+//!
+//! The paper requires the DPR gates to be "implemented scalably" (§6); PR 3
+//! striped the server-side gate, and this module carries the same
+//! philosophy up into the network plane: the steady-state request path must
+//! not touch the global allocator. Two kinds of buffers circulate:
+//!
+//! * **Scratch buffers** ([`ScratchLease`]) — exclusively owned `Vec<u8>`s
+//!   used for connection read/write buffers and frame-encode staging. They
+//!   return to the pool when the lease drops.
+//! * **Shared buffers** ([`SharedLease`]) — `Arc<[u8]>` allocations that a
+//!   decoded frame body is copied into once and then *sliced* zero-copy
+//!   ([`bytes::Bytes::from_shared`]): keys and values handed to a shard are
+//!   views of the pooled allocation, not fresh `Vec`s. A shared buffer is
+//!   recycled only once every outstanding view has dropped, observed via
+//!   `Arc::strong_count == 1` at acquire time — the lock-free analogue of a
+//!   reference-counted slab. Small slices (≤ `bytes::INLINE_CAP`) inline
+//!   and take no claim, so the paper's 8-byte keys/values (§7.1) never pin
+//!   a pooled body.
+//!
+//! Buffers are size-classed (powers of four from 1 KiB to 1 MiB) and each
+//! class keeps cache-line-padded per-stripe free lists indexed by a
+//! thread-affine stripe id, mirroring the gate's stripe design: distinct
+//! I/O threads hit distinct free lists and never contend.
+//!
+//! Telemetry: `dpr_pool_hits_total` / `dpr_pool_misses_total` count acquire
+//! outcomes; `dpr_pool_retained_total` counts shared buffers that were
+//! still referenced when probed (e.g. a > [`bytes::INLINE_CAP`]-byte value
+//! retained by a shard) and therefore dropped from the free list instead of
+//! being reused. See `docs/OBSERVABILITY.md`.
+
+use std::cell::Cell;
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+
+use bytes::Bytes;
+use dpr_telemetry::metric_fn;
+use parking_lot::Mutex;
+
+metric_fn!(
+    /// Pool acquires satisfied from a free list (no heap allocation).
+    pub fn pool_hits() -> Counter =
+        ("dpr_pool_hits_total", Count, "Buffer-pool acquires served from a free list")
+);
+metric_fn!(
+    /// Pool acquires that had to allocate (cold pool, oversize request, or
+    /// every probed shared buffer still referenced).
+    pub fn pool_misses() -> Counter =
+        ("dpr_pool_misses_total", Count, "Buffer-pool acquires that allocated fresh")
+);
+metric_fn!(
+    /// Shared buffers found still-referenced at acquire time and evicted
+    /// from the free list (their memory frees when the last view drops).
+    pub fn pool_retained() -> Counter =
+        ("dpr_pool_retained_total", Count, "Pooled shared buffers evicted while still referenced")
+);
+
+/// Size classes: 1 KiB, 4 KiB, 16 KiB, 64 KiB, 256 KiB, 1 MiB.
+///
+/// Typical netload frame bodies (batch of 8 ops, 8-byte keys/values) are a
+/// few hundred bytes and land in the first class; `MAX_FRAME_BODY`-sized
+/// bodies overflow the largest class and fall back to plain allocation.
+const CLASSES: [usize; 6] = [1 << 10, 1 << 12, 1 << 14, 1 << 16, 1 << 18, 1 << 20];
+
+/// Free-list capacity per stripe per class. Bounds pool memory at
+/// `Σ class_size × stripes × PER_STRIPE_CAP` if every list fills (≈ tens of
+/// MiB at 8 stripes), while comfortably covering a pipelined window.
+const PER_STRIPE_CAP: usize = 32;
+
+/// How many shared candidates one acquire inspects before giving up and
+/// allocating. Still-referenced candidates are evicted (not re-queued), so
+/// the list self-cleans instead of accumulating pinned buffers.
+const SHARED_PROBES: usize = 4;
+
+/// One per-thread-stripe free list; padded so stripes on adjacent indices
+/// do not false-share.
+#[repr(align(128))]
+struct Stripe {
+    scratch: Mutex<Vec<Vec<u8>>>,
+    shared: Mutex<Vec<Arc<[u8]>>>,
+}
+
+impl Stripe {
+    fn new() -> Stripe {
+        Stripe {
+            scratch: Mutex::new(Vec::new()),
+            shared: Mutex::new(Vec::new()),
+        }
+    }
+}
+
+struct SizeClass {
+    capacity: usize,
+    stripes: Box<[Stripe]>,
+}
+
+/// A tiered (size-classed, striped) pool of reusable byte buffers.
+///
+/// All methods are `&self` and thread-safe. The process-wide instance is
+/// [`BufferPool::global`]; tests can build isolated instances with
+/// [`BufferPool::leaked`].
+pub struct BufferPool {
+    classes: Box<[SizeClass]>,
+}
+
+/// Thread-affine stripe id, assigned round-robin on first use per thread —
+/// the same scheme the striped gate uses for its dependency stripes.
+fn stripe_id() -> usize {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    thread_local! {
+        static ID: Cell<Option<usize>> = const { Cell::new(None) };
+    }
+    ID.with(|id| match id.get() {
+        Some(v) => v,
+        None => {
+            let v = NEXT.fetch_add(1, Ordering::Relaxed);
+            id.set(Some(v));
+            v
+        }
+    })
+}
+
+impl BufferPool {
+    /// Build a pool with the default size classes and `stripes` free lists
+    /// per class, leaked to `'static` so leases can reference it.
+    #[must_use]
+    pub fn leaked(stripes: usize) -> &'static BufferPool {
+        let stripes = stripes.max(1);
+        let classes = CLASSES
+            .iter()
+            .map(|&capacity| SizeClass {
+                capacity,
+                stripes: (0..stripes).map(|_| Stripe::new()).collect(),
+            })
+            .collect();
+        Box::leak(Box::new(BufferPool { classes }))
+    }
+
+    /// The process-wide pool, sized to the machine's parallelism.
+    #[must_use]
+    pub fn global() -> &'static BufferPool {
+        static GLOBAL: OnceLock<&'static BufferPool> = OnceLock::new();
+        GLOBAL.get_or_init(|| {
+            let stripes = std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+                .next_power_of_two()
+                .min(16);
+            BufferPool::leaked(stripes)
+        })
+    }
+
+    /// Index of the smallest class with `capacity >= min`, or `None` when
+    /// the request overflows the largest class (caller allocates unpooled).
+    fn class_for(&self, min: usize) -> Option<usize> {
+        self.classes.iter().position(|c| c.capacity >= min)
+    }
+
+    fn stripe(&self, class: usize) -> &Stripe {
+        let stripes = &self.classes[class].stripes;
+        &stripes[stripe_id() % stripes.len()]
+    }
+
+    /// Acquire an exclusively owned scratch buffer with
+    /// `capacity >= min_capacity` and length 0.
+    #[must_use]
+    pub fn acquire_scratch(&'static self, min_capacity: usize) -> ScratchLease {
+        let Some(class) = self.class_for(min_capacity) else {
+            pool_misses().inc();
+            return ScratchLease {
+                vec: Vec::with_capacity(min_capacity),
+                class: None,
+                pool: self,
+            };
+        };
+        if let Some(vec) = self.stripe(class).scratch.lock().pop() {
+            pool_hits().inc();
+            debug_assert!(vec.is_empty());
+            return ScratchLease {
+                vec,
+                class: Some(class),
+                pool: self,
+            };
+        }
+        pool_misses().inc();
+        ScratchLease {
+            vec: Vec::with_capacity(self.classes[class].capacity),
+            class: Some(class),
+            pool: self,
+        }
+    }
+
+    /// Acquire a shared buffer with `capacity >= min_capacity`, guaranteed
+    /// unique (safe to write through [`SharedLease::data_mut`]).
+    ///
+    /// Probes up to `SHARED_PROBES` recycled candidates; ones still
+    /// referenced by outstanding [`Bytes`] views are evicted and counted in
+    /// `dpr_pool_retained_total`.
+    #[must_use]
+    pub fn acquire_shared(&'static self, min_capacity: usize) -> SharedLease {
+        let Some(class) = self.class_for(min_capacity) else {
+            pool_misses().inc();
+            return SharedLease {
+                buf: Arc::from(vec![0u8; min_capacity].into_boxed_slice()),
+                class: None,
+                pool: self,
+            };
+        };
+        {
+            let mut list = self.stripe(class).shared.lock();
+            for _ in 0..SHARED_PROBES {
+                let Some(buf) = list.pop() else { break };
+                if Arc::strong_count(&buf) == 1 {
+                    drop(list);
+                    pool_hits().inc();
+                    return SharedLease {
+                        buf,
+                        class: Some(class),
+                        pool: self,
+                    };
+                }
+                // Still viewed (e.g. a large value now owned by a shard):
+                // drop our claim; the allocation frees with its last view.
+                pool_retained().inc();
+            }
+        }
+        pool_misses().inc();
+        SharedLease {
+            buf: Arc::from(vec![0u8; self.classes[class].capacity].into_boxed_slice()),
+            class: Some(class),
+            pool: self,
+        }
+    }
+
+    fn release_scratch(&self, mut vec: Vec<u8>, class: usize) {
+        // A lease that grew past twice its class would distort the class's
+        // footprint; let the allocator have it back.
+        if vec.capacity() > self.classes[class].capacity * 2 {
+            return;
+        }
+        vec.clear();
+        let mut list = self.classes[class].stripes[stripe_id() % self.classes[class].stripes.len()]
+            .scratch
+            .lock();
+        if list.len() < PER_STRIPE_CAP {
+            list.push(vec);
+        }
+    }
+
+    fn release_shared(&self, buf: Arc<[u8]>, class: usize) {
+        let mut list = self.classes[class].stripes[stripe_id() % self.classes[class].stripes.len()]
+            .shared
+            .lock();
+        if list.len() < PER_STRIPE_CAP {
+            list.push(buf);
+        }
+    }
+}
+
+/// An exclusively owned pooled `Vec<u8>`; derefs to the vector and returns
+/// it to the pool on drop.
+pub struct ScratchLease {
+    vec: Vec<u8>,
+    class: Option<usize>,
+    pool: &'static BufferPool,
+}
+
+impl ScratchLease {
+    /// Detach the vector from the pool (it will not be recycled).
+    #[must_use]
+    pub fn take(mut self) -> Vec<u8> {
+        self.class = None;
+        std::mem::take(&mut self.vec)
+    }
+}
+
+impl Deref for ScratchLease {
+    type Target = Vec<u8>;
+    fn deref(&self) -> &Vec<u8> {
+        &self.vec
+    }
+}
+
+impl DerefMut for ScratchLease {
+    fn deref_mut(&mut self) -> &mut Vec<u8> {
+        &mut self.vec
+    }
+}
+
+impl Drop for ScratchLease {
+    fn drop(&mut self) {
+        if let Some(class) = self.class {
+            self.pool
+                .release_scratch(std::mem::take(&mut self.vec), class);
+        }
+    }
+}
+
+/// A pooled `Arc<[u8]>` that is unique at acquire time: fill it through
+/// [`SharedLease::data_mut`], then [`SharedLease::freeze`] it into a
+/// zero-copy [`Bytes`] view. Freezing (or dropping) offers the allocation
+/// back to the pool; it is reused once every view has dropped.
+pub struct SharedLease {
+    buf: Arc<[u8]>,
+    class: Option<usize>,
+    pool: &'static BufferPool,
+}
+
+impl SharedLease {
+    /// Usable capacity of the underlying allocation.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Mutable access to the full allocation (unique until frozen).
+    pub fn data_mut(&mut self) -> &mut [u8] {
+        Arc::get_mut(&mut self.buf).expect("SharedLease is unique until frozen")
+    }
+
+    /// Freeze the first `len` bytes into an immutable zero-copy view and
+    /// offer the allocation back to the pool for reuse once all views drop.
+    ///
+    /// # Panics
+    /// If `len` exceeds [`SharedLease::capacity`].
+    #[must_use]
+    pub fn freeze(self, len: usize) -> Bytes {
+        let view = Bytes::from_shared(self.buf.clone(), 0..len);
+        if let Some(class) = self.class {
+            self.pool.release_shared(self.buf.clone(), class);
+        }
+        view
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scratch_recycles_the_same_allocation() {
+        let pool = BufferPool::leaked(1);
+        let mut a = pool.acquire_scratch(100);
+        a.extend_from_slice(&[1, 2, 3]);
+        let ptr = a.as_ptr() as usize;
+        let cap = a.capacity();
+        drop(a);
+        let b = pool.acquire_scratch(100);
+        assert_eq!(b.as_ptr() as usize, ptr, "same allocation returned");
+        assert_eq!(b.capacity(), cap);
+        assert!(b.is_empty(), "recycled scratch is cleared");
+    }
+
+    #[test]
+    fn scratch_take_detaches_from_pool() {
+        let pool = BufferPool::leaked(1);
+        let a = pool.acquire_scratch(64);
+        let ptr = a.as_ptr() as usize;
+        let v = a.take();
+        drop(v);
+        let b = pool.acquire_scratch(64);
+        // Freed, not recycled — a fresh allocation may or may not reuse the
+        // address, but the pool's free list must be empty, which we can
+        // observe via the miss this acquire takes (ptr equality would be
+        // incidental). Just assert the lease works.
+        assert!(b.capacity() >= 64);
+        let _ = ptr;
+    }
+
+    #[test]
+    fn shared_round_trip_recycles_after_views_drop() {
+        // Steady state: views drop before the next acquire, so the same
+        // allocation cycles indefinitely.
+        let pool = BufferPool::leaked(1);
+        let mut lease = pool.acquire_shared(256);
+        lease.data_mut()[..4].copy_from_slice(b"abcd");
+        let base_ptr = lease.buf.as_ptr() as usize;
+        let view = lease.freeze(4);
+        assert_eq!(&view[..], b"abcd");
+        drop(view);
+        for round in 0..4 {
+            let mut l = pool.acquire_shared(256);
+            assert_eq!(
+                l.buf.as_ptr() as usize,
+                base_ptr,
+                "round {round}: same allocation reused"
+            );
+            l.data_mut()[0] = round as u8;
+            drop(l.freeze(1));
+        }
+    }
+
+    #[test]
+    fn busy_buffers_are_evicted_not_reused() {
+        // A buffer probed while a (non-inline) view is still outstanding is
+        // surrendered to the allocator: the acquire must not hand out
+        // aliased memory, and the list self-cleans instead of accumulating
+        // pinned entries.
+        let pool = BufferPool::leaked(1);
+        let mut lease = pool.acquire_shared(256);
+        lease.data_mut()[..4].copy_from_slice(b"abcd");
+        let base_ptr = lease.buf.as_ptr() as usize;
+        let view = lease.freeze(4); // from_shared: holds a real claim
+        let retained0 = pool_retained().get();
+        let other = pool.acquire_shared(256);
+        assert_ne!(
+            other.buf.as_ptr() as usize,
+            base_ptr,
+            "busy buffer must not be reacquired"
+        );
+        assert!(pool_retained().get() > retained0);
+        assert_eq!(&view[..], b"abcd", "view unaffected by the probe");
+    }
+
+    #[test]
+    fn small_views_do_not_pin_the_buffer() {
+        // An inline-sized slice of the frozen view takes no claim, so the
+        // buffer recycles even while the small slice is alive — this is
+        // what keeps 8-byte stored values from pinning pooled bodies.
+        let pool = BufferPool::leaked(1);
+        let mut lease = pool.acquire_shared(128);
+        lease.data_mut()[..8].copy_from_slice(&7u64.to_be_bytes());
+        let base_ptr = lease.buf.as_ptr() as usize;
+        let body = lease.freeze(8);
+        let small = body.slice(0..8); // inline copy
+        drop(body);
+        let l = pool.acquire_shared(128);
+        assert_eq!(l.buf.as_ptr() as usize, base_ptr);
+        assert_eq!(&small[..], &7u64.to_be_bytes());
+    }
+
+    #[test]
+    fn oversize_requests_fall_back_to_plain_allocation() {
+        let pool = BufferPool::leaked(1);
+        let huge = pool.acquire_scratch((1 << 20) + 1);
+        assert!(huge.capacity() > 1 << 20);
+        let mut shared = pool.acquire_shared((1 << 20) + 1);
+        assert_eq!(shared.data_mut().len(), (1 << 20) + 1);
+        let _ = shared.freeze(16);
+    }
+
+    #[test]
+    fn hit_and_miss_counters_advance() {
+        let pool = BufferPool::leaked(1);
+        let misses0 = pool_misses().get();
+        let hits0 = pool_hits().get();
+        drop(pool.acquire_scratch(32)); // miss (cold), then recycled
+        let _second = pool.acquire_scratch(32); // hit
+        assert!(pool_misses().get() > misses0);
+        assert!(pool_hits().get() > hits0);
+    }
+}

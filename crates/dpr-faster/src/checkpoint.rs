@@ -41,6 +41,61 @@ pub struct CheckpointManifest {
     pub device_scan_base: u64,
 }
 
+/// Magic prefix of the binary manifest encoding ("DPRM" + format version 1).
+const MANIFEST_MAGIC: u32 = 0x4450_524D;
+const MANIFEST_FORMAT: u16 = 1;
+
+thread_local! {
+    /// Reusable encode buffer: checkpoints complete on the worker tick
+    /// thread at a steady cadence, and serde_json's per-write allocation
+    /// churn showed up as the largest *background* allocation source in
+    /// allocation profiles (see `dpr-bench --bin allocstacks`).
+    static ENCODE_SCRATCH: std::cell::RefCell<Vec<u8>> = const { std::cell::RefCell::new(Vec::new()) };
+}
+
+fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Little-endian reader over a manifest blob.
+struct Reader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.data.len())
+            .ok_or_else(|| DprError::Storage("manifest decode: truncated".into()))?;
+        let s = &self.data[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u16(&mut self) -> Result<u16> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+}
+
 impl CheckpointManifest {
     /// Blob name for a version's manifest.
     #[must_use]
@@ -48,19 +103,118 @@ impl CheckpointManifest {
         format!("chkpt-{:020}", version.0)
     }
 
-    /// Persist the manifest.
-    pub fn write_to(&self, blobs: &dyn BlobStore) -> Result<()> {
-        let data = serde_json::to_vec(self)
-            .map_err(|e| DprError::Storage(format!("manifest encode: {e}")))?;
-        blobs.put(&Self::blob_name(self.version), &data)
+    /// Serialize into `out` using the compact binary format. Fixed-width
+    /// little-endian fields; all collections are length-prefixed.
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        put_u32(out, MANIFEST_MAGIC);
+        put_u16(out, MANIFEST_FORMAT);
+        put_u64(out, self.version.0);
+        put_u64(out, self.until_address);
+        put_u64(out, self.device_scan_base);
+        match &self.snapshot_blob {
+            Some(name) => {
+                out.push(1);
+                put_u32(out, name.len() as u32);
+                out.extend_from_slice(name.as_bytes());
+            }
+            None => out.push(0),
+        }
+        put_u32(out, self.purged.len() as u32);
+        for (lo, hi) in &self.purged {
+            put_u64(out, lo.0);
+            put_u64(out, hi.0);
+        }
+        put_u32(out, self.commit_points.len() as u32);
+        for (session, cp) in &self.commit_points {
+            put_u64(out, session.0);
+            put_u64(out, cp.serial);
+            put_u32(out, cp.exceptions.len() as u32);
+            for &e in &cp.exceptions {
+                put_u64(out, e);
+            }
+        }
     }
 
-    /// Load the manifest for `version`, if present.
+    fn decode(data: &[u8]) -> Result<Self> {
+        let mut r = Reader { data, pos: 0 };
+        if r.u32()? != MANIFEST_MAGIC {
+            return Err(DprError::Storage("manifest decode: bad magic".into()));
+        }
+        let format = r.u16()?;
+        if format != MANIFEST_FORMAT {
+            return Err(DprError::Storage(format!(
+                "manifest decode: unknown format {format}"
+            )));
+        }
+        let version = Version(r.u64()?);
+        let until_address = r.u64()?;
+        let device_scan_base = r.u64()?;
+        let snapshot_blob = match r.take(1)?[0] {
+            0 => None,
+            1 => {
+                let len = r.u32()? as usize;
+                let bytes = r.take(len)?;
+                Some(
+                    std::str::from_utf8(bytes)
+                        .map_err(|e| DprError::Storage(format!("manifest decode: {e}")))?
+                        .to_owned(),
+                )
+            }
+            b => {
+                return Err(DprError::Storage(format!(
+                    "manifest decode: bad snapshot tag {b}"
+                )))
+            }
+        };
+        let npurged = r.u32()? as usize;
+        let mut purged = Vec::with_capacity(npurged.min(1024));
+        for _ in 0..npurged {
+            purged.push((Version(r.u64()?), Version(r.u64()?)));
+        }
+        let npoints = r.u32()? as usize;
+        let mut commit_points = BTreeMap::new();
+        for _ in 0..npoints {
+            let session = SessionId(r.u64()?);
+            let serial = r.u64()?;
+            let nexc = r.u32()? as usize;
+            let mut exceptions = Vec::with_capacity(nexc.min(1024));
+            for _ in 0..nexc {
+                exceptions.push(r.u64()?);
+            }
+            commit_points.insert(session, CommitPoint { serial, exceptions });
+        }
+        Ok(CheckpointManifest {
+            version,
+            until_address,
+            purged,
+            commit_points,
+            snapshot_blob,
+            device_scan_base,
+        })
+    }
+
+    /// Persist the manifest.
+    pub fn write_to(&self, blobs: &dyn BlobStore) -> Result<()> {
+        ENCODE_SCRATCH.with(|scratch| {
+            let mut buf = scratch.borrow_mut();
+            buf.clear();
+            self.encode_into(&mut buf);
+            blobs.put(&Self::blob_name(self.version), &buf)
+        })
+    }
+
+    /// Load the manifest for `version`, if present. Blobs written by older
+    /// builds (JSON) are still readable: anything without the binary magic
+    /// falls back to the serde decoder.
     pub fn read_from(blobs: &dyn BlobStore, version: Version) -> Result<Option<Self>> {
         match blobs.get(&Self::blob_name(version))? {
             Some(data) => {
-                let m = serde_json::from_slice(&data)
-                    .map_err(|e| DprError::Storage(format!("manifest decode: {e}")))?;
+                let m = if data.len() >= 4 && data[..4] == MANIFEST_MAGIC.to_le_bytes() {
+                    Self::decode(&data)?
+                } else {
+                    serde_json::from_slice(&data)
+                        .map_err(|e| DprError::Storage(format!("manifest decode: {e}")))?
+                };
                 Ok(Some(m))
             }
             None => Ok(None),

@@ -61,6 +61,58 @@ pub enum RecordRef {
     OnDisk,
 }
 
+/// Dense index of flushed records: record address → (device offset,
+/// serialized length). Record addresses are allocated densely and flushed
+/// strictly in order, so the flushed span is always one contiguous address
+/// range `[base, base + entries.len())`. A deque keeps both ends cheap:
+/// flushes push onto the back (amortized allocation-free), device
+/// truncation pops from the front.
+#[derive(Default)]
+struct DiskIndex {
+    base: u64,
+    entries: std::collections::VecDeque<(u64, u32)>,
+}
+
+impl DiskIndex {
+    fn get(&self, addr: u64) -> Option<(u64, u32)> {
+        let i = addr.checked_sub(self.base)?;
+        self.entries.get(i as usize).copied()
+    }
+
+    fn push(&mut self, addr: u64, entry: (u64, u32)) {
+        if self.entries.is_empty() {
+            self.base = addr;
+        }
+        debug_assert_eq!(
+            addr,
+            self.base + self.entries.len() as u64,
+            "non-contiguous flush address"
+        );
+        self.entries.push_back(entry);
+    }
+
+    /// Drop entries for addresses below `addr`.
+    fn truncate_below(&mut self, addr: u64) {
+        while self.base < addr {
+            if self.entries.pop_front().is_none() {
+                self.base = addr;
+                break;
+            }
+            self.base += 1;
+        }
+    }
+}
+
+/// Reusable buffers for [`RecordLog::flush_until`], owned by the flush lock
+/// so a single flusher at a time reuses them across calls.
+#[derive(Default)]
+struct FlushScratch {
+    /// Serialized record bytes for the current flush span.
+    buf: Vec<u8>,
+    /// `(record address, relative offset, serialized length)` per record.
+    offsets: Vec<(u64, u64, u32)>,
+}
+
 /// The paged record log.
 pub struct RecordLog {
     pages: RwLock<Vec<Arc<Page>>>,
@@ -70,8 +122,10 @@ pub struct RecordLog {
     flushed: AtomicU64,
     device: Arc<dyn LogDevice>,
     /// record address → (device offset, serialized length)
-    disk_index: RwLock<std::collections::BTreeMap<u64, (u64, u32)>>,
-    flush_lock: Mutex<()>,
+    disk_index: RwLock<DiskIndex>,
+    /// Serializes flushers and holds the reusable serialization buffers —
+    /// continuous flush runs every tick, so per-call `Vec` churn adds up.
+    flush_lock: Mutex<FlushScratch>,
     /// Maximum records kept in memory before eviction kicks in.
     memory_budget: usize,
     /// Device offset at which this log incarnation's address 0 begins
@@ -102,8 +156,8 @@ impl RecordLog {
             head: AtomicU64::new(0),
             flushed: AtomicU64::new(0),
             device,
-            disk_index: RwLock::new(std::collections::BTreeMap::new()),
-            flush_lock: Mutex::new(()),
+            disk_index: RwLock::new(DiskIndex::default()),
+            flush_lock: Mutex::new(FlushScratch::default()),
             memory_budget: memory_budget.max(2 * PAGE_RECORDS),
             scan_base: base,
             unflushed_limit: AtomicU64::new(u64::MAX),
@@ -249,14 +303,16 @@ impl RecordLog {
     /// Returns the new flush frontier. Serialized records are written in
     /// address order; the durable layout is a sequential scan.
     pub fn flush_until(&self, until: u64) -> Result<u64> {
-        let _guard = self.flush_lock.lock();
+        let mut scratch = self.flush_lock.lock();
         let start = self.flushed();
         let until = until.min(self.tail());
         if until <= start {
             return Ok(start);
         }
-        let mut buf = Vec::with_capacity(64 * 1024);
-        let mut offsets = Vec::with_capacity((until - start) as usize);
+        let FlushScratch { buf, offsets } = &mut *scratch;
+        buf.clear();
+        offsets.clear();
+        offsets.reserve((until - start) as usize);
         let base = {
             // Serialize each record, tracking its relative offset.
             for addr in start..until {
@@ -274,16 +330,16 @@ impl RecordLog {
                     }
                 };
                 let off = buf.len() as u64;
-                rec.serialize_into(&mut buf);
+                rec.serialize_into(buf);
                 offsets.push((addr, off, (buf.len() as u64 - off) as u32));
             }
-            self.device.append(&buf)?
+            self.device.append(buf)?
         };
         self.device.flush()?;
         {
             let mut idx = self.disk_index.write();
-            for (addr, off, len) in offsets {
-                idx.insert(addr, (base + off, len));
+            for &(addr, off, len) in offsets.iter() {
+                idx.push(addr, (base + off, len));
             }
         }
         self.flushed.fetch_max(until, Ordering::AcqRel);
@@ -292,10 +348,10 @@ impl RecordLog {
 
     /// Read a record back from the device (PENDING completion path).
     pub fn read_from_device(&self, addr: u64) -> Result<Record> {
-        let (off, len) = *self
+        let (off, len) = self
             .disk_index
             .read()
-            .get(&addr)
+            .get(addr)
             .ok_or_else(|| DprError::Storage(format!("record {addr} not on device")))?;
         let mut buf = vec![0u8; len as usize];
         dpr_storage::device::read_exact(self.device.as_ref(), off, &mut buf)?;
@@ -372,13 +428,13 @@ impl RecordLog {
             )));
         }
         let mut idx = self.disk_index.write();
-        let offset = match idx.get(&addr) {
-            Some(&(off, _)) => off,
+        let offset = match idx.get(addr) {
+            Some((off, _)) => off,
             // Nothing flushed at/after addr yet → nothing to truncate.
             None => return Ok(0),
         };
         self.device.truncate_before(offset)?;
-        *idx = idx.split_off(&addr);
+        idx.truncate_below(addr);
         Ok(offset)
     }
 
@@ -448,7 +504,7 @@ impl RecordLog {
             let mut off = scan_from;
             for rec in &recovered {
                 let len = rec.serialized_len() as u64;
-                idx.insert(rec.address(), (off, len as u32));
+                idx.push(rec.address(), (off, len as u32));
                 off += len;
             }
         }

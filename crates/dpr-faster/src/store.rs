@@ -1094,17 +1094,19 @@ impl FasterKv {
                         version: commit_version,
                         until_address: until,
                         purged: self.purged.read().clone(),
-                        commit_points: points.clone(),
+                        commit_points: points,
                         snapshot_blob,
                         device_scan_base: self.log.scan_base(),
                     };
                     if manifest.write_to(self.blobs.as_ref()).is_ok() {
                         self.durable_version
                             .fetch_max(commit_version.0, Ordering::AcqRel);
+                        // Hand the commit points to the DPR layer without
+                        // cloning the per-session map.
                         self.completed.lock().push(CheckpointInfo {
                             version: commit_version,
                             until_address: until,
-                            commit_points: points,
+                            commit_points: manifest.commit_points,
                         });
                     }
                     *machine = None;

@@ -103,6 +103,8 @@ impl Histogram {
     #[must_use]
     pub const fn new() -> Histogram {
         // `AtomicU64` is not `Copy`; build the array element by element.
+        // The const item is intentional: each use site gets a fresh atomic.
+        #[allow(clippy::declare_interior_mutable_const)]
         const ZERO: AtomicU64 = AtomicU64::new(0);
         Histogram {
             buckets: [ZERO; HISTOGRAM_BUCKETS],

@@ -183,8 +183,8 @@ impl MetricsRegistry {
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "{:<44} {:>10} {:>10} {:>10} {:>10} {:>12}  {}",
-            "metric", "p50/value", "p95", "p99", "max", "count", "unit"
+            "{:<44} {:>10} {:>10} {:>10} {:>10} {:>12}  unit",
+            "metric", "p50/value", "p95", "p99", "max", "count"
         );
         let _ = writeln!(out, "{}", "-".repeat(110));
         for e in entries.iter() {

@@ -24,6 +24,15 @@ pub enum SessionStatus {
     },
 }
 
+/// One completed batch's execution record: `op_count` consecutive serials
+/// that all executed at `version` on `shard`.
+#[derive(Debug, Clone, Copy)]
+struct BatchSpan {
+    op_count: u32,
+    shard: ShardId,
+    version: Version,
+}
+
 /// Client-side DPR state for one session.
 ///
 /// Not `Sync`: a session is a single logical thread of execution. Clients
@@ -59,8 +68,11 @@ pub struct DprClientSession {
     shard_versions: BTreeMap<ShardId, Version>,
     /// Next serial number to assign.
     next_serial: u64,
-    /// Completed-but-uncommitted ops: serial → (shard, version).
-    op_versions: BTreeMap<u64, (ShardId, Version)>,
+    /// Completed-but-uncommitted batches, span-compressed: every op in a
+    /// batch executes at one (shard, version), so tracking is per batch
+    /// (first serial → span), not per op — one map insert per reply on
+    /// the pipelined hot path instead of `op_count`.
+    op_versions: BTreeMap<u64, BatchSpan>,
     /// All serials below this are *resolved*: committed, or aborted by a
     /// failure the application has been told about.
     committed_prefix: u64,
@@ -142,28 +154,50 @@ impl DprClientSession {
     /// # Errors
     /// Fails if the session needs recovery first.
     pub fn begin_batch(&mut self, shard: ShardId, op_count: u32) -> Result<BatchHeader> {
+        let mut header = BatchHeader {
+            session: self.id,
+            world_line: self.world_line,
+            version_lower_bound: self.version_clock,
+            deps: Vec::new(),
+            first_serial: 0,
+            op_count,
+        };
+        self.begin_batch_into(shard, op_count, &mut header)?;
+        Ok(header)
+    }
+
+    /// [`DprClientSession::begin_batch`] into a caller-owned header — the
+    /// dependency vector is rebuilt in place, so a header reused across
+    /// batches makes issuing allocation-free in steady state.
+    ///
+    /// # Errors
+    /// Fails if the session needs recovery first.
+    pub fn begin_batch_into(
+        &mut self,
+        shard: ShardId,
+        op_count: u32,
+        header: &mut BatchHeader,
+    ) -> Result<()> {
         if let SessionStatus::NeedsRecovery { new_world_line } = self.status {
             return Err(DprError::WorldLineMismatch {
                 requested: self.world_line,
                 current: new_world_line,
             });
         }
-        let first_serial = self.next_serial;
+        header.session = self.id;
+        header.world_line = self.world_line;
+        header.version_lower_bound = self.version_clock;
+        header.deps.clear();
+        header.deps.extend(
+            self.shard_versions
+                .iter()
+                .filter(|(s, _)| **s != shard)
+                .map(|(s, v)| Token::new(*s, *v)),
+        );
+        header.first_serial = self.next_serial;
+        header.op_count = op_count;
         self.next_serial += u64::from(op_count);
-        let deps = self
-            .shard_versions
-            .iter()
-            .filter(|(s, _)| **s != shard)
-            .map(|(s, v)| Token::new(*s, *v))
-            .collect();
-        Ok(BatchHeader {
-            session: self.id,
-            world_line: self.world_line,
-            version_lower_bound: self.version_clock,
-            deps,
-            first_serial,
-            op_count,
-        })
+        Ok(())
     }
 
     /// Rebuild a header for already-allocated serials (used when a batch
@@ -204,9 +238,19 @@ impl DprClientSession {
         if reply.world_line < self.world_line {
             return Err(DprError::Recovering);
         }
-        for i in 0..u64::from(reply.op_count) {
-            self.op_versions
-                .insert(reply.first_serial + i, (reply.shard, reply.version));
+        if reply.first_serial >= self.committed_prefix {
+            // One span per batch (serials in a batch are consecutive and
+            // share the executed version). Replays of already-committed
+            // batches are dropped so they cannot re-enter the map below
+            // the prefix.
+            self.op_versions.insert(
+                reply.first_serial,
+                BatchSpan {
+                    op_count: reply.op_count,
+                    shard: reply.shard,
+                    version: reply.version,
+                },
+            );
         }
         self.version_clock = self.version_clock.max(reply.version);
         let e = self
@@ -220,13 +264,13 @@ impl DprClientSession {
     /// Advance the committed prefix given the cluster's current DPR cut.
     /// Returns the new prefix (serials strictly below it are committed).
     pub fn refresh_commit(&mut self, cut: &Cut) -> u64 {
-        while let Some(&(shard, version)) = self.op_versions.get(&self.committed_prefix) {
-            let committed = cut.get(&shard).copied().unwrap_or(Version::ZERO);
-            if version > committed {
+        while let Some(&span) = self.op_versions.get(&self.committed_prefix) {
+            let committed = cut.get(&span.shard).copied().unwrap_or(Version::ZERO);
+            if span.version > committed {
                 break;
             }
             self.op_versions.remove(&self.committed_prefix);
-            self.committed_prefix += 1;
+            self.committed_prefix += u64::from(span.op_count);
         }
         self.committed_prefix
     }

@@ -198,7 +198,7 @@ impl DprFinder for ExactFinder {
         let floor = self.meta.read_cut()?;
         let graph: BTreeMap<Token, Vec<Token>> = self.meta.graph_snapshot()?.into_iter().collect();
         let cut = compute_closure_cut(&graph, &floor);
-        let result = match self.meta.update_cut_atomically(cut.clone()) {
+        match self.meta.update_cut_atomically(cut.clone()) {
             Ok(()) => {
                 crate::audit::cut_published(&cut);
                 self.meta.prune_graph_below(&cut)?;
@@ -206,8 +206,7 @@ impl DprFinder for ExactFinder {
             }
             Err(dpr_core::DprError::Recovering) => Ok(()),
             Err(e) => Err(e),
-        };
-        result
+        }
     }
 
     fn current_cut(&self) -> Result<Cut> {

@@ -148,9 +148,10 @@ impl Stripe {
         *e = (*e).max(version);
     }
 
-    /// Take (and reset) this stripe's accumulated max-per-shard deps into
-    /// `merged`. Caller must have quiesced in-flight writers via the epoch.
-    fn drain_into(&self, merged: &mut BTreeMap<ShardId, Version>) {
+    /// Take (and reset) this stripe's accumulated deps, appending raw
+    /// `(shard, version)` pairs to `pairs` (the caller max-merges). Caller
+    /// must have quiesced in-flight writers via the epoch.
+    fn drain_into(&self, pairs: &mut Vec<(ShardId, Version)>) {
         for i in 0..STRIPE_SLOTS {
             let k = self.keys[i].load(Ordering::Acquire);
             if k == 0 {
@@ -158,15 +159,12 @@ impl Stripe {
             }
             let v = self.vers[i].swap(0, Ordering::AcqRel);
             if v > 0 {
-                let shard = ShardId((k - 1) as u32);
-                let e = merged.entry(shard).or_insert(Version::ZERO);
-                *e = (*e).max(Version(v));
+                pairs.push((ShardId((k - 1) as u32), Version(v)));
             }
         }
         let spilled = std::mem::take(&mut *self.overflow.lock());
         for (shard, v) in spilled {
-            let e = merged.entry(shard).or_insert(Version::ZERO);
-            *e = (*e).max(v);
+            pairs.push((shard, v));
         }
     }
 
@@ -191,6 +189,17 @@ impl Stripe {
     }
 }
 
+/// Reusable drain-side buffers. Living inside the drain mutex, they are
+/// reused across pumps, so a steady-state drain allocates only the report
+/// vectors handed off to the finder — no per-pump map churn.
+#[derive(Default)]
+struct DrainScratch {
+    /// Raw `(shard, version)` pairs drained from the stripes.
+    pairs: Vec<(ShardId, Version)>,
+    /// Max-merged dependency tokens built from `pairs`.
+    tokens: Vec<Token>,
+}
+
 /// Per-shard server-side DPR state.
 pub struct DprServer {
     shard: ShardId,
@@ -202,8 +211,8 @@ pub struct DprServer {
     /// bump-and-wait so they observe no mid-flight writer.
     epoch: LightEpoch,
     /// Serializes drains against each other (pump vs. restore) — never
-    /// touched by `record_batch`.
-    drain: Mutex<()>,
+    /// touched by `record_batch` — and holds the drain's reusable scratch.
+    drain: Mutex<DrainScratch>,
     /// Timestamp base for the lock-free commit-latency tracking.
     started: Instant,
 }
@@ -225,7 +234,7 @@ impl DprServer {
             world_line: AtomicU64::new(WorldLine::INITIAL.0),
             stripes: (0..n).map(|_| Stripe::new()).collect(),
             epoch: LightEpoch::new(MAX_GATE_THREADS),
-            drain: Mutex::new(()),
+            drain: Mutex::new(DrainScratch::default()),
             started: Instant::now(),
         }
     }
@@ -347,25 +356,34 @@ impl DprServer {
     }
 
     /// Quiesce in-flight writers, then take everything the stripes have
-    /// accumulated: the merged max-per-shard dependency tokens and the
-    /// earliest first-execution timestamp (telemetry), resetting both.
-    fn quiesce_and_drain(&self) -> (Vec<Token>, Option<u64>) {
+    /// accumulated into the drain scratch: the max-merged dependency
+    /// tokens land in `scratch.tokens`, and the earliest first-execution
+    /// timestamp (telemetry) is returned. Resets both stripe sides.
+    fn quiesce_and_drain(&self, scratch: &mut DrainScratch) -> Option<u64> {
         // Writers protected at the pre-bump epoch may still be publishing
         // into stripes; wait them out. New writers (post-bump) may land
         // concurrently — their deps go to this drain or the next, either is
         // safe. The drainer waits on writers; writers never wait on it.
         self.epoch.quiesce();
-        let mut merged: BTreeMap<ShardId, Version> = BTreeMap::new();
+        scratch.pairs.clear();
+        scratch.tokens.clear();
         let mut earliest: Option<u64> = None;
         for stripe in self.stripes.iter() {
-            stripe.drain_into(&mut merged);
+            stripe.drain_into(&mut scratch.pairs);
             let t = stripe.first_exec_us.swap(0, Ordering::AcqRel);
             if t > 0 {
                 earliest = Some(earliest.map_or(t, |e| e.min(t)));
             }
         }
-        let tokens = merged.into_iter().map(|(s, v)| Token::new(s, v)).collect();
-        (tokens, earliest)
+        scratch.pairs.sort_unstable_by_key(|&(s, _)| s);
+        for &(s, v) in &scratch.pairs {
+            match scratch.tokens.last_mut() {
+                Some(t) if t.shard == s => t.version = t.version.max(v),
+                _ => scratch.tokens.push(Token::new(s, v)),
+            }
+        }
+        scratch.pairs.clear();
+        earliest
     }
 
     /// Drain completed local commits to the finder, attaching accumulated
@@ -385,10 +403,12 @@ impl DprServer {
         if commits.is_empty() {
             return Ok(Vec::new());
         }
-        let _drain = self.drain.lock();
+        let mut scratch = self.drain.lock();
         commits.sort_by_key(|d| d.version);
-        let (dep_tokens, first_exec_us) = self.quiesce_and_drain();
-        let mut dep_tokens = Some(dep_tokens);
+        let first_exec_us = self.quiesce_and_drain(&mut scratch);
+        // The finder takes ownership of the deps; hand over the merged
+        // tokens and let the scratch vector refill next pump.
+        let mut dep_tokens = Some(std::mem::take(&mut scratch.tokens));
         let reports: Vec<(Token, Vec<Token>)> = commits
             .iter()
             .map(|desc| {
@@ -420,9 +440,9 @@ impl DprServer {
     /// debug assertions at call sites.
     pub fn on_restore(&self, v_safe: Version) {
         let _ = v_safe;
-        let _drain = self.drain.lock();
-        let (dropped, _) = self.quiesce_and_drain();
-        drop(dropped);
+        let mut scratch = self.drain.lock();
+        let _ = self.quiesce_and_drain(&mut scratch);
+        scratch.tokens.clear();
     }
 
     /// Snapshot of the accumulated (max-per-shard compressed) dependency

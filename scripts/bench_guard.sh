@@ -1,0 +1,81 @@
+#!/usr/bin/env bash
+# Bench guard: regenerate the smoke benchmarks and fail if throughput
+# regressed more than DPR_BENCH_GUARD_PCT percent (default 25) against the
+# checked-in smoke baselines.
+#
+# Baselines live at the repo root:
+#   BENCH_gate.smoke.json — §6 gate microbench  (metric: best striped
+#                           batches_per_sec across thread points)
+#   BENCH_net.smoke.json  — loopback netload    (metric: summary
+#                           .peak_ops_per_sec)
+#
+# Regenerate a baseline deliberately (e.g. after a hardware change or an
+# accepted perf trade-off) by copying the fresh smoke out of target/:
+#   cp target/BENCH_gate.smoke.json BENCH_gate.smoke.json
+#
+# The guard is a one-sided check: faster-than-baseline always passes.
+# A missing baseline is a skip with a notice, not a failure, so the gate
+# still works on fresh clones before baselines are first checked in.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+PCT="${DPR_BENCH_GUARD_PCT:-25}"
+FAIL=0
+
+# compare NAME CURRENT BASELINE — fail if CURRENT < BASELINE * (100-PCT)%
+compare() {
+    local name="$1" current="$2" baseline="$3"
+    local floor
+    floor=$(python3 -c "print(int($baseline * (100 - $PCT) / 100))")
+    if python3 -c "import sys; sys.exit(0 if $current >= $floor else 1)"; then
+        echo "    OK  $name: $current >= floor $floor (baseline $baseline, -$PCT% allowed)"
+    else
+        echo "    FAIL $name: $current < floor $floor (baseline $baseline, -$PCT% allowed)"
+        FAIL=1
+    fi
+}
+
+echo "==> bench guard: gate_scaling smoke"
+DPR_BENCH_SECS=0.25 DPR_GATE_THREADS=1,2 \
+    DPR_GATE_JSON=target/BENCH_gate.smoke.json \
+    cargo run --release -q -p dpr-bench --bin gate_scaling
+
+if [[ -f BENCH_gate.smoke.json ]]; then
+    current=$(python3 -c "
+import json
+d = json.load(open('target/BENCH_gate.smoke.json'))
+print(max(p['batches_per_sec'] for p in d['points'] if p['gate'] == 'striped'))")
+    baseline=$(python3 -c "
+import json
+d = json.load(open('BENCH_gate.smoke.json'))
+print(max(p['batches_per_sec'] for p in d['points'] if p['gate'] == 'striped'))")
+    compare "gate striped batches/s" "$current" "$baseline"
+else
+    echo "    SKIP gate guard: no checked-in BENCH_gate.smoke.json baseline"
+fi
+
+echo "==> bench guard: netload smoke"
+DPR_BENCH_SECS=1 DPR_NET_SHARDS=2 DPR_NET_SESSIONS=8 DPR_NET_THREADS=1 \
+    DPR_NET_QPS=0 DPR_NET_JSON=target/BENCH_net.smoke.json \
+    cargo run --release -q -p dpr-bench --bin netload
+
+if [[ -f BENCH_net.smoke.json ]]; then
+    current=$(python3 -c "
+import json
+print(json.load(open('target/BENCH_net.smoke.json'))['summary']['peak_ops_per_sec'])")
+    baseline=$(python3 -c "
+import json
+print(json.load(open('BENCH_net.smoke.json'))['summary']['peak_ops_per_sec'])")
+    compare "netload peak ops/s" "$current" "$baseline"
+else
+    echo "    SKIP net guard: no checked-in BENCH_net.smoke.json baseline"
+fi
+
+if [[ "$FAIL" -ne 0 ]]; then
+    echo
+    echo "bench guard FAILED: throughput regressed more than $PCT% vs baseline."
+    echo "If the regression is intended, refresh the baseline from target/ (see header)."
+    exit 1
+fi
+echo "bench guard passed."

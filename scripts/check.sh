@@ -1,13 +1,19 @@
 #!/usr/bin/env bash
 # Pre-PR gate: everything a change must pass before it ships.
 #
+#   scripts/check.sh --quick   build + tier-1 tests only (fast inner loop)
+#   scripts/check.sh           the full gate: workspace tests, lints,
+#                              docs, bench smokes, and the bench guard
+#
 # Fully offline — dependencies are vendored as stubs under third_party/
 # (see third_party/README.md), so no registry or network access is needed.
-# rustfmt is optional in minimal toolchains; its step is skipped with a
-# notice when absent rather than failing the gate.
+# rustfmt and clippy are optional in minimal toolchains; their steps are
+# skipped with a notice when absent rather than failing the gate.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+MODE="${1:-full}"
 
 step() {
     echo
@@ -20,19 +26,34 @@ step cargo build --release
 # Tier-1: the root package's unit/integration/property/doc tests.
 step cargo test -q
 
+if [[ "$MODE" == "--quick" ]]; then
+    echo
+    echo "Quick checks passed (tier-1 only; run scripts/check.sh for the full gate)."
+    exit 0
+fi
+
 # The full workspace: every crate's suites.
 step cargo test --workspace -q
 
-# Gate-scaling smoke: a ~1 s run of the §6 gate microbench (2 threads,
-# short points) proving both gate implementations still drive a full
-# record → seal → pump → finder pipeline. The checked-in BENCH_gate.json
-# is regenerated only by a full default-length run; the smoke writes to
-# the target directory instead.
+if cargo fmt --version >/dev/null 2>&1; then
+    step cargo fmt --check
+else
+    echo
+    echo "==> cargo fmt --check SKIPPED (rustfmt not installed)"
+fi
+
+if cargo clippy --version >/dev/null 2>&1; then
+    echo
+    echo "==> cargo clippy --workspace --all-targets (warnings denied)"
+    cargo clippy --workspace --all-targets -- -D warnings
+else
+    echo
+    echo "==> cargo clippy SKIPPED (clippy not installed)"
+fi
+
 echo
-echo "==> gate_scaling smoke (2 threads, short points)"
-DPR_BENCH_SECS=0.25 DPR_GATE_THREADS=1,2 \
-    DPR_GATE_JSON=target/BENCH_gate.smoke.json \
-    cargo run --release -q -p dpr-bench --bin gate_scaling
+echo "==> cargo doc --no-deps --workspace (warnings denied)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
 
 # Chaos smoke: one short fixed-seed round of the fault-injection campaign
 # with the online invariant checker (crates/dpr-chaos; docs/PROTOCOL.md
@@ -42,30 +63,17 @@ DPR_BENCH_SECS=0.25 DPR_GATE_THREADS=1,2 \
 echo
 echo "==> chaos smoke (1 round, seed 42, 2s)"
 cargo run --release -q -p dpr-bench --bin chaos -- \
-    --seed 42 --secs 2 --rounds 1 --out target/BENCH_chaos.smoke.json
+    --seed 42 --rounds 1 --secs 2 --out target/BENCH_chaos.smoke.json
 
-# Network-plane smoke: a short netload run over real loopback TCP — server
-# subprocess with 2 workers, 8 pipelined client sessions, one uncapped
-# point — proving the framed wire protocol, handshake, and cut transfer
-# work end to end over sockets (docs/NETWORK.md). The checked-in
-# BENCH_net.json comes from a full default-length run; the smoke writes to
-# the target directory instead.
+# Bench guard: regenerates the gate-scaling and netload smokes (a ~1 s §6
+# gate microbench and a short loopback netload run exercising the framed
+# wire protocol end to end) and fails if throughput regressed more than
+# DPR_BENCH_GUARD_PCT percent (default 25) against the checked-in
+# BENCH_*.smoke.json baselines. Full-length BENCH_*.json artifacts are
+# regenerated manually, not here.
 echo
-echo "==> netload smoke (2 shards, 8 sessions, loopback)"
-DPR_BENCH_SECS=1 DPR_NET_SHARDS=2 DPR_NET_SESSIONS=8 DPR_NET_THREADS=1 \
-    DPR_NET_QPS=0 DPR_NET_JSON=target/BENCH_net.smoke.json \
-    cargo run --release -q -p dpr-bench --bin netload
-
-echo
-echo "==> cargo doc --no-deps --workspace (warnings denied)"
-RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
-
-if cargo fmt --version >/dev/null 2>&1; then
-    step cargo fmt --check
-else
-    echo
-    echo "==> cargo fmt --check SKIPPED (rustfmt not installed)"
-fi
+echo "==> bench guard (gate + netload smokes vs checked-in baselines)"
+scripts/bench_guard.sh
 
 echo
 echo "All checks passed."

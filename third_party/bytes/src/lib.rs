@@ -3,86 +3,193 @@
 //! Provides the [`Bytes`] type with the subset of the real API this
 //! workspace uses: cheap clones via `Arc`, construction from slices /
 //! vectors / statics, and `Deref<Target = [u8]>` so all slice methods work.
+//!
+//! Two properties matter to the workspace's zero-copy hot path:
+//!
+//! * **Zero-copy slicing.** A long `Bytes` is a `(Arc<[u8]>, start, end)`
+//!   view; [`Bytes::slice`] and `clone` only bump a reference count. The
+//!   wire codec cuts keys and values out of a pooled frame body without
+//!   per-op heap allocations.
+//! * **Inline small buffers.** Payloads of up to [`INLINE_CAP`] bytes are
+//!   stored directly in the struct — no allocation, no `Arc`. The paper's
+//!   evaluation uses 8-byte keys and values (§7.1), so the common case
+//!   allocates nothing *and* a tiny value stored into a shard does not pin
+//!   the multi-kilobyte pooled frame body it was sliced from
+//!   (`dpr_core::pool::BufferPool` recycles a backing `Arc<[u8]>` once its
+//!   strong count returns to 1).
 
 use std::borrow::Borrow;
 use std::fmt;
 use std::ops::Deref;
 use std::sync::Arc;
 
+/// Maximum payload stored inline (no heap allocation, no sharing).
+pub const INLINE_CAP: usize = 24;
+
+#[derive(Clone)]
+enum Repr {
+    /// Small payload held directly in the struct.
+    Inline { len: u8, data: [u8; INLINE_CAP] },
+    /// View of a shared allocation: `buf[start..end]`.
+    Shared {
+        buf: Arc<[u8]>,
+        start: usize,
+        end: usize,
+    },
+}
+
 /// A cheaply cloneable, immutable byte buffer.
 ///
-/// Clones share the underlying allocation (an `Arc<[u8]>`), which is what
-/// the hot paths of this workspace rely on when keys and values are copied
-/// into log records and wire messages.
-#[derive(Clone, Default)]
-pub struct Bytes(Arc<[u8]>);
+/// Small payloads (≤ [`INLINE_CAP`]) are inline; larger ones are
+/// refcounted views of a shared allocation. Clones and sub-slices never
+/// copy more than [`INLINE_CAP`] bytes.
+#[derive(Clone)]
+pub struct Bytes(Repr);
+
+fn inline(data: &[u8]) -> Repr {
+    debug_assert!(data.len() <= INLINE_CAP);
+    let mut buf = [0u8; INLINE_CAP];
+    buf[..data.len()].copy_from_slice(data);
+    Repr::Inline {
+        len: data.len() as u8,
+        data: buf,
+    }
+}
 
 impl Bytes {
-    /// An empty buffer.
+    /// An empty buffer (no allocation).
     #[must_use]
     pub fn new() -> Bytes {
-        Bytes(Arc::from(&[][..]))
+        Bytes(inline(&[]))
     }
 
-    /// Copy `data` into a new buffer.
+    /// Copy `data` into a new buffer (inline when it fits, one allocation
+    /// otherwise).
     #[must_use]
     pub fn copy_from_slice(data: &[u8]) -> Bytes {
-        Bytes(Arc::from(data))
+        if data.len() <= INLINE_CAP {
+            Bytes(inline(data))
+        } else {
+            let buf: Arc<[u8]> = Arc::from(data);
+            let end = buf.len();
+            Bytes(Repr::Shared { buf, start: 0, end })
+        }
     }
 
     /// Wrap a static byte string (copied here; the real crate borrows).
     #[must_use]
     pub fn from_static(data: &'static [u8]) -> Bytes {
-        Bytes(Arc::from(data))
+        Bytes::copy_from_slice(data)
+    }
+
+    /// Zero-copy view of a window of an existing shared buffer. The view
+    /// keeps the whole allocation alive regardless of the window's size
+    /// (it is never inlined — callers that pool buffers rely on the `Arc`
+    /// strong count to track outstanding views; *sub*-slices of the view
+    /// may inline, releasing their claim on the allocation).
+    ///
+    /// # Panics
+    /// If `range` is out of bounds of `buf`.
+    #[must_use]
+    pub fn from_shared(buf: Arc<[u8]>, range: std::ops::Range<usize>) -> Bytes {
+        assert!(range.start <= range.end && range.end <= buf.len());
+        Bytes(Repr::Shared {
+            buf,
+            start: range.start,
+            end: range.end,
+        })
     }
 
     /// Length in bytes.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.0.len()
+        match &self.0 {
+            Repr::Inline { len, .. } => usize::from(*len),
+            Repr::Shared { start, end, .. } => end - start,
+        }
     }
 
     /// Whether the buffer is empty.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.0.is_empty()
+        self.len() == 0
     }
 
     /// Copy the contents into a fresh `Vec<u8>`.
     #[must_use]
     pub fn to_vec(&self) -> Vec<u8> {
-        self.0.to_vec()
+        self.as_slice().to_vec()
     }
 
-    /// Copy of the sub-range `[begin, end)` as a new buffer.
+    /// View of the sub-range `[begin, end)` (relative to this view).
+    /// Small results are inlined (no allocation, and no claim on the
+    /// backing buffer); larger results share the backing allocation,
+    /// bumping only the refcount.
+    ///
+    /// # Panics
+    /// If the range is out of bounds.
     #[must_use]
     pub fn slice(&self, range: std::ops::Range<usize>) -> Bytes {
-        Bytes::copy_from_slice(&self.0[range])
+        assert!(range.start <= range.end && range.end <= self.len());
+        if range.end - range.start <= INLINE_CAP {
+            return Bytes(inline(&self.as_slice()[range]));
+        }
+        match &self.0 {
+            // Unreachable in practice (inline payloads fit INLINE_CAP and
+            // would have taken the branch above), kept for completeness.
+            Repr::Inline { .. } => Bytes(inline(&self.as_slice()[range])),
+            Repr::Shared { buf, start, .. } => Bytes(Repr::Shared {
+                buf: buf.clone(),
+                start: start + range.start,
+                end: start + range.end,
+            }),
+        }
+    }
+
+    /// The viewed bytes.
+    #[must_use]
+    pub fn as_slice(&self) -> &[u8] {
+        match &self.0 {
+            Repr::Inline { len, data } => &data[..usize::from(*len)],
+            Repr::Shared { buf, start, end } => &buf[*start..*end],
+        }
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Bytes {
+        Bytes::new()
     }
 }
 
 impl Deref for Bytes {
     type Target = [u8];
     fn deref(&self) -> &[u8] {
-        &self.0
+        self.as_slice()
     }
 }
 
 impl AsRef<[u8]> for Bytes {
     fn as_ref(&self) -> &[u8] {
-        &self.0
+        self.as_slice()
     }
 }
 
 impl Borrow<[u8]> for Bytes {
     fn borrow(&self) -> &[u8] {
-        &self.0
+        self.as_slice()
     }
 }
 
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Bytes {
-        Bytes(Arc::from(v.into_boxed_slice()))
+        if v.len() <= INLINE_CAP {
+            Bytes(inline(&v))
+        } else {
+            let buf: Arc<[u8]> = Arc::from(v.into_boxed_slice());
+            let end = buf.len();
+            Bytes(Repr::Shared { buf, start: 0, end })
+        }
     }
 }
 
@@ -106,14 +213,14 @@ impl From<&str> for Bytes {
 
 impl PartialEq for Bytes {
     fn eq(&self, other: &Self) -> bool {
-        self.0[..] == other.0[..]
+        self.as_slice() == other.as_slice()
     }
 }
 impl Eq for Bytes {}
 
 impl PartialEq<[u8]> for Bytes {
     fn eq(&self, other: &[u8]) -> bool {
-        &self.0[..] == other
+        self.as_slice() == other
     }
 }
 
@@ -124,20 +231,20 @@ impl PartialOrd for Bytes {
 }
 impl Ord for Bytes {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.0[..].cmp(&other.0[..])
+        self.as_slice().cmp(other.as_slice())
     }
 }
 
 impl std::hash::Hash for Bytes {
     fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
-        self.0[..].hash(state);
+        self.as_slice().hash(state);
     }
 }
 
 impl fmt::Debug for Bytes {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "b\"")?;
-        for &b in self.0.iter() {
+        for &b in self.as_slice() {
             if (0x20..0x7f).contains(&b) && b != b'"' && b != b'\\' {
                 write!(f, "{}", b as char)?;
             } else {
@@ -152,7 +259,7 @@ impl fmt::Debug for Bytes {
 impl serde::Serialize for Bytes {
     fn serialize(&self) -> serde::Value {
         serde::Value::Seq(
-            self.0
+            self.as_slice()
                 .iter()
                 .map(|&b| serde::Value::U64(b.into()))
                 .collect(),
@@ -195,5 +302,71 @@ mod tests {
     #[test]
     fn ordering_is_lexicographic() {
         assert!(Bytes::copy_from_slice(b"abc") < Bytes::copy_from_slice(b"abd"));
+    }
+
+    #[test]
+    fn long_payloads_round_trip() {
+        let data: Vec<u8> = (0..=255u8).collect();
+        let b = Bytes::copy_from_slice(&data);
+        assert_eq!(b.len(), 256);
+        assert_eq!(&b[..], &data[..]);
+        assert_eq!(Bytes::from(data.clone()), b);
+    }
+
+    #[test]
+    fn slice_of_long_buffer_shares_the_allocation() {
+        let data: Vec<u8> = (0..200u8).collect();
+        let base = Bytes::copy_from_slice(&data);
+        // A long sub-slice shares the backing allocation.
+        let long = base.slice(10..110);
+        let base_ptr = base.as_slice().as_ptr() as usize;
+        let long_ptr = long.as_slice().as_ptr() as usize;
+        assert_eq!(long_ptr, base_ptr + 10);
+        // Sub-slicing stays correctly offset.
+        let mid = long.slice(5..80);
+        assert_eq!(&mid[..], &data[15..90]);
+    }
+
+    #[test]
+    fn small_slices_inline_and_release_the_backing() {
+        let arc: Arc<[u8]> = Arc::from(&(0..100u8).collect::<Vec<_>>()[..]);
+        let view = Bytes::from_shared(arc.clone(), 0..100);
+        assert_eq!(Arc::strong_count(&arc), 2);
+        // An 8-byte sub-slice (a key/value) inlines: content matches, and no
+        // new claim on the allocation is taken.
+        let small = view.slice(16..24);
+        assert_eq!(&small[..], &[16, 17, 18, 19, 20, 21, 22, 23]);
+        assert_eq!(Arc::strong_count(&arc), 2, "small slice took no claim");
+        // A long sub-slice does claim the allocation.
+        let large = view.slice(0..50);
+        assert_eq!(Arc::strong_count(&arc), 3);
+        drop(view);
+        drop(large);
+        drop(small);
+        assert_eq!(Arc::strong_count(&arc), 1, "all views returned");
+    }
+
+    #[test]
+    fn from_shared_tracks_outstanding_views() {
+        let arc: Arc<[u8]> = Arc::from(&b"abcdef"[..]);
+        // from_shared never inlines, even when the window is small: pooling
+        // code uses the strong count to detect outstanding views.
+        let view = Bytes::from_shared(arc.clone(), 2..5);
+        assert_eq!(&view[..], b"cde");
+        assert_eq!(Arc::strong_count(&arc), 2);
+        drop(view);
+        assert_eq!(Arc::strong_count(&arc), 1);
+    }
+
+    #[test]
+    fn inline_constructors_do_not_allocate_shared_state() {
+        // 8-byte payloads (the paper's key/value size) stay inline through
+        // clone and slice.
+        let k = Bytes::copy_from_slice(&42u64.to_be_bytes());
+        let c = k.clone();
+        assert_eq!(k, c);
+        assert_eq!(k.slice(0..8), k);
+        assert!(matches!(k.0, Repr::Inline { .. }));
+        assert!(matches!(c.0, Repr::Inline { .. }));
     }
 }
