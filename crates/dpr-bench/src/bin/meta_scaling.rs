@@ -1,0 +1,364 @@
+//! Metadata/finder-plane scaling — cut maintenance cost vs. shard count.
+//!
+//! §3.4's coordination plane has two scaling hazards as deployments grow:
+//! every shard's commit reports and persisted-version updates funnel into
+//! the shared metadata store (one table lock in the monolithic simulation),
+//! and every finder refresh recomputes the transitive closure over the
+//! complete precedence-graph history (a full-graph clone per pass). This
+//! bench measures both fixes together against the legacy cost model:
+//!
+//! * **mono-full** — monolithic [`SimulatedSqlStore`] + a [`HybridFinder`]
+//!   in [`CutEngineMode::FullRecompute`] (clone-per-refresh, complete
+//!   history): the baseline.
+//! * **part-delta** — [`PartitionedSqlStore`] (`DPR_META_PARTITIONS`,
+//!   default 8) + [`CutEngineMode::Delta`]: per-partition table locks and
+//!   the incremental delta-closure engine whose working set is bounded by
+//!   cut lag, with **zero** full-graph clones on the refresh path (the
+//!   bench asserts the engine's clone counter stays 0).
+//!
+//! Reporter threads (`DPR_META_REPORTERS`) drive the shard set round-robin:
+//! version bumps with cross-shard dependency fan-out via
+//! `report_commits`, persisted-version updates every
+//! `DPR_META_PERSIST_EVERY` versions (the checkpoint signal that moves the
+//! approximate floor and prunes the delta working set). A refresher thread
+//! runs `refresh` back-to-back, recording per-pass latency; cut lag
+//! (`Vmax` − min cut version) is sampled at the end of each point.
+//!
+//! Output: one `meta` row per (impl, shards) point and a JSON report
+//! (`DPR_META_JSON`, default `BENCH_meta.json`). The summary carries the
+//! acceptance numbers: refresh-p50 growth ratio lowest→highest shard count
+//! per implementation (sub-linear for part-delta), delta refreshes/sec at
+//! the highest shard count (the bench-guard metric), and the delta clone
+//! count (must be 0).
+
+use dpr_bench::point_duration;
+use dpr_bench::util::{env_list, row};
+use dpr_core::{ShardId, Token, Version};
+use dpr_metadata::{MetadataStore, PartitionedSqlStore, SimulatedSqlStore};
+use libdpr::{CutEngineMode, DprFinder, HybridFinder};
+use std::io::Write as _;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+#[derive(Clone)]
+struct Config {
+    duration: Duration,
+    sql_us: u64,
+    partitions: usize,
+    reporters: u64,
+    persist_every: u64,
+    report_us: u64,
+}
+
+struct Point {
+    implementation: &'static str,
+    shards: u64,
+    refreshes_per_sec: f64,
+    refresh_p50_us: u64,
+    refresh_p99_us: u64,
+    reports: u64,
+    cut_lag_versions: u64,
+    pending_tokens: usize,
+    full_graph_clones: u64,
+    statements: u64,
+    partition_imbalance: f64,
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}
+
+#[allow(clippy::too_many_lines)]
+fn run_point(implementation: &'static str, shards: u64, cfg: &Config) -> Point {
+    let latency = Duration::from_micros(cfg.sql_us);
+    let store = if implementation == "part-delta" {
+        Store::Partitioned(Arc::new(PartitionedSqlStore::with_latency(
+            cfg.partitions,
+            latency,
+        )))
+    } else {
+        Store::Mono(Arc::new(SimulatedSqlStore::with_latency(latency)))
+    };
+    let meta: Arc<dyn MetadataStore> = match &store {
+        Store::Partitioned(p) => p.clone(),
+        Store::Mono(m) => m.clone(),
+    };
+    for s in 0..shards {
+        meta.register_worker(ShardId(s as u32)).expect("register");
+    }
+    let mode = if implementation == "part-delta" {
+        CutEngineMode::Delta
+    } else {
+        CutEngineMode::FullRecompute
+    };
+    let finder = Arc::new(HybridFinder::with_mode(meta.clone(), mode));
+    let base_statements = store.statement_count();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let reports = Arc::new(AtomicU64::new(0));
+    // Per-shard version clocks, striped across reporter threads so each
+    // shard has exactly one writer (in-order, monotone reports — what the
+    // §3.2 version clock produces).
+    let mut handles = Vec::new();
+    for t in 0..cfg.reporters {
+        let finder = finder.clone();
+        let meta = meta.clone();
+        let stop = stop.clone();
+        let reports = reports.clone();
+        let cfg = cfg.clone();
+        handles.push(std::thread::spawn(move || {
+            let my_shards: Vec<u64> = (0..shards).filter(|s| s % cfg.reporters == t).collect();
+            if my_shards.is_empty() {
+                return;
+            }
+            let mut versions = vec![0u64; my_shards.len()];
+            let mut i = 0usize;
+            let mut rng: u64 = 0x5851_F42D ^ t;
+            while !stop.load(Ordering::Acquire) {
+                let s = my_shards[i];
+                versions[i] += 1;
+                let v = versions[i];
+                rng ^= rng << 13;
+                rng ^= rng >> 7;
+                rng ^= rng << 17;
+                // Two cross-shard deps ≤ own version (monotone clamp).
+                let deps: Vec<Token> = (0..2)
+                    .map(|k| {
+                        let d = (rng >> (k * 8)) % shards;
+                        Token::new(ShardId(d as u32), Version(rng % v + 1))
+                    })
+                    .filter(|d| d.shard.0 as u64 != s)
+                    .collect();
+                let token = Token::new(ShardId(s as u32), Version(v));
+                finder.report_commits(vec![(token, deps)]).expect("report");
+                reports.fetch_add(1, Ordering::Relaxed);
+                if v.is_multiple_of(cfg.persist_every) {
+                    meta.update_persisted_version(ShardId(s as u32), Version(v))
+                        .expect("persist");
+                }
+                i = (i + 1) % my_shards.len();
+                if cfg.report_us > 0 {
+                    std::thread::sleep(Duration::from_micros(cfg.report_us));
+                }
+            }
+        }));
+    }
+
+    let refresher = {
+        let finder = finder.clone();
+        let stop = stop.clone();
+        std::thread::spawn(move || {
+            let mut latencies: Vec<u64> = Vec::with_capacity(1 << 16);
+            while !stop.load(Ordering::Acquire) {
+                let t0 = Instant::now();
+                finder.refresh().expect("refresh");
+                latencies.push(t0.elapsed().as_micros() as u64);
+            }
+            latencies
+        })
+    };
+
+    let started = Instant::now();
+    std::thread::sleep(cfg.duration);
+    stop.store(true, Ordering::Release);
+    let elapsed = started.elapsed();
+    for h in handles {
+        h.join().expect("reporter");
+    }
+    let mut latencies = refresher.join().expect("refresher");
+    let refreshes = latencies.len() as u64;
+    latencies.sort_unstable();
+
+    // Final catch-up pass, then sample cut lag: with reporters quiet the
+    // residual lag is the plane's steady-state drain debt.
+    finder.refresh().expect("refresh");
+    let cut = finder.current_cut().expect("cut");
+    let vmax = finder.max_version().expect("vmax");
+    let min_cut = cut.values().min().copied().unwrap_or(Version::ZERO);
+    let partition_imbalance = match &store {
+        Store::Partitioned(p) => {
+            // Over partitions that saw traffic: with fewer shards than
+            // partitions, the empty ones are routing gaps, not skew.
+            let counts: Vec<u64> = p
+                .partition_statement_counts()
+                .into_iter()
+                .filter(|&c| c > 0)
+                .collect();
+            let max = counts.iter().copied().max().unwrap_or(1);
+            let min = counts.iter().copied().min().unwrap_or(1);
+            max as f64 / min as f64
+        }
+        Store::Mono(_) => 1.0,
+    };
+
+    Point {
+        implementation,
+        shards,
+        refreshes_per_sec: refreshes as f64 / elapsed.as_secs_f64(),
+        refresh_p50_us: percentile(&latencies, 0.50),
+        refresh_p99_us: percentile(&latencies, 0.99),
+        reports: reports.load(Ordering::Relaxed),
+        cut_lag_versions: vmax.0.saturating_sub(min_cut.0),
+        pending_tokens: finder.pending_tokens(),
+        full_graph_clones: finder.full_graph_clones(),
+        statements: store.statement_count() - base_statements,
+        partition_imbalance,
+    }
+}
+
+/// Concrete store handle kept alongside the trait object for the charged
+/// statement counters (not part of [`MetadataStore`]).
+enum Store {
+    Mono(Arc<SimulatedSqlStore>),
+    Partitioned(Arc<PartitionedSqlStore>),
+}
+
+impl Store {
+    fn statement_count(&self) -> u64 {
+        match self {
+            Store::Mono(m) => m.statement_count(),
+            Store::Partitioned(p) => p.statement_count(),
+        }
+    }
+}
+
+fn main() {
+    let _metrics = dpr_bench::metrics_dump();
+    let shard_counts = env_list("DPR_META_SHARDS", &[8, 24, 80]);
+    let cfg = Config {
+        duration: point_duration(),
+        sql_us: env_u64("DPR_META_SQL_US", 100),
+        partitions: env_u64("DPR_META_PARTITIONS", 8) as usize,
+        reporters: env_u64("DPR_META_REPORTERS", 4).max(1),
+        persist_every: env_u64("DPR_META_PERSIST_EVERY", 8).max(1),
+        report_us: env_u64("DPR_META_REPORT_US", 20),
+    };
+    let mut points = Vec::new();
+    for implementation in ["mono-full", "part-delta"] {
+        for &shards in &shard_counts {
+            let p = run_point(implementation, shards, &cfg);
+            row(
+                "meta",
+                &[
+                    ("impl", p.implementation.to_string()),
+                    ("shards", p.shards.to_string()),
+                    ("refreshes_per_sec", format!("{:.0}", p.refreshes_per_sec)),
+                    ("refresh_p50_us", p.refresh_p50_us.to_string()),
+                    ("refresh_p99_us", p.refresh_p99_us.to_string()),
+                    ("reports", p.reports.to_string()),
+                    ("cut_lag", p.cut_lag_versions.to_string()),
+                    ("pending_tokens", p.pending_tokens.to_string()),
+                    ("clones", p.full_graph_clones.to_string()),
+                    ("imbalance", format!("{:.2}", p.partition_imbalance)),
+                ],
+            );
+            points.push(p);
+        }
+    }
+
+    let lo = shard_counts.first().copied().unwrap_or(8);
+    let hi = shard_counts.last().copied().unwrap_or(80);
+    let p50_growth = |implementation: &str| -> f64 {
+        let of = |s: u64| {
+            points
+                .iter()
+                .find(|p| p.implementation == implementation && p.shards == s)
+                .map(|p| p.refresh_p50_us.max(1) as f64)
+        };
+        match (of(lo), of(hi)) {
+            (Some(a), Some(b)) => b / a,
+            _ => f64::NAN,
+        }
+    };
+    let delta_hi = points
+        .iter()
+        .find(|p| p.implementation == "part-delta" && p.shards == hi);
+    let delta_refreshes_per_sec = delta_hi.map_or(f64::NAN, |p| p.refreshes_per_sec);
+    let delta_clones: u64 = points
+        .iter()
+        .filter(|p| p.implementation == "part-delta")
+        .map(|p| p.full_graph_clones)
+        .sum();
+    assert_eq!(
+        delta_clones, 0,
+        "delta engine cloned the graph on the refresh path"
+    );
+    let shard_growth = hi as f64 / lo as f64;
+    row(
+        "meta_summary",
+        &[
+            ("shard_growth", format!("{shard_growth:.1}")),
+            (
+                "mono_full_p50_growth",
+                format!("{:.2}", p50_growth("mono-full")),
+            ),
+            (
+                "part_delta_p50_growth",
+                format!("{:.2}", p50_growth("part-delta")),
+            ),
+            (
+                "delta_refreshes_per_sec_hi",
+                format!("{delta_refreshes_per_sec:.0}"),
+            ),
+            ("delta_full_graph_clones", delta_clones.to_string()),
+        ],
+    );
+
+    let json_path =
+        std::env::var("DPR_META_JSON").unwrap_or_else(|_| "BENCH_meta.json".to_string());
+    let mut json = String::from("{\n  \"bench\": \"meta_scaling\",\n");
+    json.push_str(&format!(
+        "  \"config\": {{\"point_secs\": {:.2}, \"sql_us\": {}, \"partitions\": {}, \"reporters\": {}, \"persist_every\": {}, \"report_us\": {}, \"host_cpus\": {}}},\n",
+        cfg.duration.as_secs_f64(),
+        cfg.sql_us,
+        cfg.partitions,
+        cfg.reporters,
+        cfg.persist_every,
+        cfg.report_us,
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+    ));
+    json.push_str("  \"points\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"impl\": \"{}\", \"shards\": {}, \"refreshes_per_sec\": {:.0}, \"refresh_p50_us\": {}, \"refresh_p99_us\": {}, \"reports\": {}, \"cut_lag_versions\": {}, \"pending_tokens\": {}, \"full_graph_clones\": {}, \"statements\": {}, \"partition_imbalance\": {:.2}}}{}\n",
+            p.implementation,
+            p.shards,
+            p.refreshes_per_sec,
+            p.refresh_p50_us,
+            p.refresh_p99_us,
+            p.reports,
+            p.cut_lag_versions,
+            p.pending_tokens,
+            p.full_graph_clones,
+            p.statements,
+            p.partition_imbalance,
+            if i + 1 == points.len() { "" } else { "," },
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"summary\": {{\"shards_lo\": {}, \"shards_hi\": {}, \"shard_growth\": {:.1}, \"mono_full_p50_growth\": {:.2}, \"part_delta_p50_growth\": {:.2}, \"delta_refreshes_per_sec_hi\": {:.0}, \"delta_full_graph_clones\": {}}}\n}}\n",
+        lo,
+        hi,
+        shard_growth,
+        p50_growth("mono-full"),
+        p50_growth("part-delta"),
+        delta_refreshes_per_sec,
+        delta_clones,
+    ));
+    let mut f = std::fs::File::create(&json_path).expect("create json");
+    f.write_all(json.as_bytes()).expect("write json");
+    eprintln!("wrote {json_path}");
+}

@@ -48,6 +48,11 @@ pub struct ClusterConfig {
     pub network_latency: Duration,
     /// Per-statement metadata-store latency (the Azure SQL round trip).
     pub metadata_latency: Duration,
+    /// Metadata-store partitions: `>1` backs the cluster with the
+    /// lock-partitioned [`dpr_metadata::PartitionedSqlStore`] so DPR-table
+    /// writes from many shards stop serialising on one table lock; `<=1`
+    /// keeps the monolithic [`SimulatedSqlStore`].
+    pub metadata_partitions: usize,
     /// Recoverability level (§7.6).
     pub recoverability: RecoverabilityLevel,
     /// Executor threads per worker.
@@ -86,6 +91,7 @@ impl Default for ClusterConfig {
             finder_mode: DprFinderMode::Approximate,
             network_latency: Duration::ZERO,
             metadata_latency: Duration::ZERO,
+            metadata_partitions: 8,
             recoverability: RecoverabilityLevel::Dpr,
             executors_per_worker: 2,
             memory_budget_records: 1 << 22,
@@ -118,8 +124,14 @@ impl Cluster {
     /// Start a cluster per `config`.
     pub fn start(config: ClusterConfig) -> Result<Cluster> {
         let net = SimNetwork::new(config.network_latency);
-        let meta: Arc<dyn MetadataStore> =
-            Arc::new(SimulatedSqlStore::with_latency(config.metadata_latency));
+        let meta: Arc<dyn MetadataStore> = if config.metadata_partitions > 1 {
+            Arc::new(dpr_metadata::PartitionedSqlStore::with_latency(
+                config.metadata_partitions,
+                config.metadata_latency,
+            ))
+        } else {
+            Arc::new(SimulatedSqlStore::with_latency(config.metadata_latency))
+        };
         let clock: Arc<dyn Clock> = Arc::new(SystemClock::new());
         let ownership = Arc::new(OwnershipTable::new(
             Partitioner::Hash {

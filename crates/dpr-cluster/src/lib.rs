@@ -21,6 +21,7 @@ pub mod client;
 pub mod cluster;
 pub mod dfaster;
 pub mod dredis;
+pub mod lease;
 pub mod manager;
 pub mod message;
 mod metrics;
@@ -35,6 +36,7 @@ pub use client::{SessionHandle, SessionStats};
 pub use cluster::{Cluster, ClusterConfig, ClusterKind};
 pub use dfaster::FasterShard;
 pub use dredis::RedisShard;
+pub use lease::{CutLease, OwnershipLease};
 pub use manager::ClusterManager;
 pub use message::{ClusterOp, OpResult};
 pub use net::{NetServer, NetServerConfig};

@@ -87,6 +87,22 @@ metric_fn!(
 );
 
 metric_fn!(
+    /// Ownership-lease cache refills: the worker re-snapshotted the shared
+    /// ownership table (epoch moved, lease expired, or explicit invalidate).
+    pub(crate) fn lease_refills() -> Counter =
+        ("dpr_cluster_lease_refills_total", Count,
+         "Worker ownership-lease cache refills from the shared table")
+);
+
+metric_fn!(
+    /// Explicit lease-cache invalidations (ownership or cut), driven by
+    /// recovery and membership changes.
+    pub(crate) fn lease_invalidations() -> Counter =
+        ("dpr_cluster_lease_invalidations_total", Count,
+         "Explicit worker lease-cache invalidations (recovery, membership change)")
+);
+
+metric_fn!(
     /// Cluster recoveries completed (§4.1).
     pub(crate) fn recoveries() -> Counter =
         ("dpr_cluster_recoveries_total", Count,

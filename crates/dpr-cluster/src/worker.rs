@@ -1,6 +1,7 @@
 //! Shard workers: batch execution + libDPR server hooks + background
 //! checkpointing, commit pumping, and recovery participation.
 
+use crate::lease::{CutLease, OwnershipLease};
 use crate::message::{ClusterOp, Message, OpResult, RequestMsg, ResponseMsg};
 use crate::transport::{EndpointId, SimNetwork};
 use crossbeam::channel::Receiver;
@@ -141,6 +142,10 @@ pub struct Worker {
     net: Arc<SimNetwork>,
     endpoint: EndpointId,
     ownership: Arc<OwnershipTable>,
+    /// Worker-local lease cache over `ownership` — the per-op validation
+    /// path reads this (one epoch load + local lookup) instead of taking
+    /// the shared table's lock per operation (§5.3 at scale).
+    ownership_lease: OwnershipLease,
     meta: Arc<dyn MetadataStore>,
     finder: Arc<dyn DprFinder>,
     config: WorkerConfig,
@@ -155,21 +160,17 @@ pub struct Worker {
     /// FIFO window per dedupe stripe (`config.dedupe_window` split across
     /// the stripes).
     dedupe_stripe_window: usize,
-    /// TTL-cached `(world_line, cut)` served to `CutReq` frames, so commit
-    /// polling from many clients does not clone the cut out of the metadata
-    /// store per request. Staleness is bounded by [`CUT_CACHE_TTL`], well
-    /// under the finder's own publish cadence.
-    cut_cache: parking_lot::Mutex<CutCache>,
+    /// TTL + world-line-fenced `(world_line, cut)` cache served to `CutReq`
+    /// frames, so commit polling from many clients does not clone the cut
+    /// out of the metadata store per request. Staleness is bounded by
+    /// [`CUT_CACHE_TTL`] (well under the finder's own publish cadence) and
+    /// by the world-line fence: a cut from an abandoned world-line is never
+    /// served after this worker rolls forward.
+    cut_lease: CutLease,
 }
 
 /// See [`Worker::read_cut_cached`].
 const CUT_CACHE_TTL: Duration = Duration::from_millis(2);
-
-#[derive(Default)]
-struct CutCache {
-    at: Option<Instant>,
-    value: Option<Arc<(WorldLine, dpr_metadata::Cut)>>,
-}
 
 impl Worker {
     /// Create and start a worker: registers on the bus and metadata store,
@@ -198,6 +199,7 @@ impl Worker {
             server: Arc::new(DprServer::new(shard)),
             net,
             endpoint,
+            ownership_lease: OwnershipLease::new(ownership.clone(), shard),
             ownership,
             meta,
             finder,
@@ -208,7 +210,7 @@ impl Worker {
                 .map(|_| DedupeStripe(parking_lot::Mutex::new(DedupeCache::default())))
                 .collect(),
             dedupe_stripe_window,
-            cut_cache: parking_lot::Mutex::new(CutCache::default()),
+            cut_lease: CutLease::new(CUT_CACHE_TTL),
         });
         for i in 0..worker.config.executors.max(1) {
             let weak = Arc::downgrade(&worker);
@@ -284,7 +286,7 @@ impl Worker {
             .validate_blocking(header, self.store.as_ref(), Duration::from_secs(10))?;
         if self.config.validate_ownership {
             for op in ops {
-                if !self.ownership.validate(self.shard, op.key()) {
+                if !self.ownership_lease.validate(op.key()) {
                     return Err(DprError::NotOwner { shard: self.shard });
                 }
             }
@@ -355,19 +357,16 @@ impl Worker {
         Ok((world_line, cut))
     }
 
-    /// Like [`Worker::read_cut`], but served from a `CUT_CACHE_TTL`-bounded
-    /// cache shared by all readers: the steady-state commit-polling path
-    /// (many clients sending `CutReq` frames) costs one metadata read per
-    /// TTL instead of one cut clone per request.
+    /// Like [`Worker::read_cut`], but served from a `CUT_CACHE_TTL`-bounded,
+    /// world-line-fenced cache shared by all readers: the steady-state
+    /// commit-polling path (many clients sending `CutReq` frames) costs one
+    /// metadata read per TTL instead of one cut clone per request. The
+    /// fence is this worker's own world-line, so once recovery rolls the
+    /// worker forward no cut from the abandoned world-line is served, even
+    /// within the TTL window.
     pub fn read_cut_cached(&self) -> Result<Arc<(WorldLine, dpr_metadata::Cut)>> {
-        let mut cache = self.cut_cache.lock();
-        let stale = cache.at.is_none_or(|at| at.elapsed() >= CUT_CACHE_TTL);
-        if stale || cache.value.is_none() {
-            let fresh = Arc::new(self.read_cut()?);
-            cache.at = Some(Instant::now());
-            cache.value = Some(fresh);
-        }
-        Ok(cache.value.as_ref().expect("cache filled above").clone())
+        self.cut_lease
+            .get(self.server.world_line(), || self.read_cut())
     }
 
     /// Duplicate check for a remote batch. `None` means fresh (caller
@@ -489,8 +488,12 @@ impl Worker {
             self.server.on_restore(target);
             self.server.set_world_line(rec.world_line);
             // Cached replies carry the old world-line; never replay them
-            // into the new one.
+            // into the new one. Same for the lease caches: ownership may
+            // have been reassigned around the failure, and the cached cut
+            // belongs to the abandoned world-line.
             self.simulate_crash_restart();
+            self.ownership_lease.invalidate();
+            self.cut_lease.invalidate();
             crate::metrics::worker_rollbacks().inc();
             dpr_telemetry::global().span("dpr-cluster", "worker_rollback", || {
                 format!(

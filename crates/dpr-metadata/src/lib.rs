@@ -26,9 +26,11 @@
 
 mod metrics;
 pub mod ownership;
+pub mod partitioned;
 pub mod recovery;
 pub mod store;
 
 pub use ownership::{OwnershipEntry, OwnershipTable, Partitioner, VirtualPartition};
+pub use partitioned::PartitionedSqlStore;
 pub use recovery::RecoveryState;
 pub use store::{Cut, MetadataStore, SimulatedSqlStore};

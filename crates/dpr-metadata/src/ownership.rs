@@ -10,6 +10,7 @@ use dpr_core::{Clock, DprError, Key, Result, ShardId};
 use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -93,6 +94,15 @@ pub struct OwnershipTable {
     entries: RwLock<BTreeMap<VirtualPartition, OwnershipEntry>>,
     clock: Arc<dyn Clock>,
     lease: Duration,
+    /// Assignment epoch: bumped on every ownership *change* (assignment,
+    /// renounce, claim) but **not** on lease renewal. Worker-side caches
+    /// ([`dpr-cluster`'s `OwnershipLease`]) compare one atomic load against
+    /// their cached epoch to detect a stale view; the bump happens inside
+    /// the write-locked section, so a snapshot taken under the read lock is
+    /// always consistent with the epoch it reads.
+    ///
+    /// [`dpr-cluster`'s `OwnershipLease`]: OwnershipTable::snapshot
+    epoch: AtomicU64,
 }
 
 impl OwnershipTable {
@@ -103,6 +113,7 @@ impl OwnershipTable {
             entries: RwLock::new(BTreeMap::new()),
             clock,
             lease,
+            epoch: AtomicU64::new(0),
         }
     }
 
@@ -110,6 +121,30 @@ impl OwnershipTable {
     #[must_use]
     pub fn partitioner(&self) -> &Partitioner {
         &self.partitioner
+    }
+
+    /// The table's clock (shared with worker-side lease caches so lease
+    /// expiry is judged on the same timeline).
+    #[must_use]
+    pub fn clock(&self) -> Arc<dyn Clock> {
+        self.clock.clone()
+    }
+
+    /// Current assignment epoch (see the field docs). One relaxed-cost
+    /// atomic load — the per-operation staleness probe for cached views.
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// Consistent `(epoch, entries)` snapshot for worker-side lease caches.
+    /// Taken under the read lock, which excludes every epoch-bumping writer,
+    /// so the entries always correspond to the returned epoch.
+    #[must_use]
+    pub fn snapshot(&self) -> (u64, BTreeMap<VirtualPartition, OwnershipEntry>) {
+        let entries = self.entries.read();
+        let epoch = self.epoch.load(Ordering::Acquire);
+        (epoch, entries.clone())
     }
 
     /// Assign every partition round-robin across `workers` — the initial
@@ -127,6 +162,8 @@ impl OwnershipTable {
                 },
             );
         }
+        // Ownership changed: fence every cached view.
+        self.epoch.fetch_add(1, Ordering::AcqRel);
     }
 
     /// The owner of `key`, if the partition is owned and the lease is live.
@@ -180,6 +217,10 @@ impl OwnershipTable {
             )));
         }
         e.owner = None;
+        // The epoch bump is what fences the old owner's cached lease: its
+        // next validation sees the new epoch and refills before it can
+        // accept another operation for this partition.
+        self.epoch.fetch_add(1, Ordering::AcqRel);
         Ok(())
     }
 
@@ -195,6 +236,7 @@ impl OwnershipTable {
         }
         e.owner = Some(new_owner);
         e.lease_until_nanos = now + self.lease.as_nanos() as u64;
+        self.epoch.fetch_add(1, Ordering::AcqRel);
         Ok(())
     }
 
@@ -270,6 +312,31 @@ mod tests {
         assert!(!t.validate(ShardId(0), &key), "lease expired");
         t.renew_leases(ShardId(0));
         assert!(t.validate(ShardId(0), &key));
+    }
+
+    #[test]
+    fn epoch_bumps_on_assignment_changes_but_not_renewal() {
+        let (t, clock) = table(4);
+        let e0 = t.epoch();
+        t.assign_round_robin(&[ShardId(0)]);
+        let e1 = t.epoch();
+        assert!(e1 > e0, "assignment bumps the epoch");
+        clock.advance(Duration::from_secs(1));
+        t.renew_leases(ShardId(0));
+        assert_eq!(t.epoch(), e1, "renewal must NOT fence cached views");
+        t.renounce(VirtualPartition(2), ShardId(0)).unwrap();
+        let e2 = t.epoch();
+        assert!(e2 > e1, "renounce fences the old owner");
+        t.claim(VirtualPartition(2), ShardId(1)).unwrap();
+        assert!(t.epoch() > e2, "claim fences again");
+        // Snapshot is consistent with its epoch.
+        let (epoch, entries) = t.snapshot();
+        assert_eq!(epoch, t.epoch());
+        assert_eq!(
+            entries[&VirtualPartition(2)].owner,
+            Some(ShardId(1)),
+            "snapshot reflects the post-claim assignment"
+        );
     }
 
     #[test]

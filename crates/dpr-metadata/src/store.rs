@@ -89,6 +89,18 @@ pub trait MetadataStore: Send + Sync {
     /// Read the guaranteed cut (never partially updated).
     fn read_cut(&self) -> Result<Cut>;
 
+    /// Telemetry-only read of the DPR frontier: `(Vmax, published cut)` in
+    /// one call, **exempt from statement accounting and injected latency**.
+    ///
+    /// The `statements/version` metric is the headline protocol-cost number
+    /// (§6); observability reads that merely *watch* the protocol must not
+    /// inflate it. The default implementation falls back to the charged
+    /// reads for foreign stores; both built-in stores override it with an
+    /// uncharged path.
+    fn telemetry_frontier(&self) -> Result<(Option<Version>, Cut)> {
+        Ok((self.max_persisted_version()?, self.read_cut()?))
+    }
+
     // ---- world-line / recovery ----------------------------------------------------
 
     /// The cluster's current world-line.
@@ -321,6 +333,13 @@ impl MetadataStore for SimulatedSqlStore {
         Ok(self.tables.lock().cut.clone())
     }
 
+    fn telemetry_frontier(&self) -> Result<(Option<Version>, Cut)> {
+        // Telemetry-only: no charge, no injected latency — this read does
+        // not model a protocol round trip.
+        let t = self.tables.lock();
+        Ok((t.dpr.values().max().copied(), t.cut.clone()))
+    }
+
     fn world_line(&self) -> Result<WorldLine> {
         self.charge();
         Ok(self.tables.lock().world_line)
@@ -442,6 +461,20 @@ mod tests {
         s.add_graph_versions(Vec::new()).unwrap();
         s.update_persisted_versions(&[]).unwrap();
         assert_eq!(s.statement_count(), before);
+    }
+
+    #[test]
+    fn telemetry_frontier_is_uncharged() {
+        let s = SimulatedSqlStore::new();
+        s.register_worker(shard(0)).unwrap();
+        s.update_persisted_version(shard(0), Version(5)).unwrap();
+        s.update_cut_atomically(Cut::from([(shard(0), Version(3))]))
+            .unwrap();
+        let before = s.statement_count();
+        let (vmax, cut) = s.telemetry_frontier().unwrap();
+        assert_eq!(s.statement_count(), before, "telemetry reads are free");
+        assert_eq!(vmax, Some(Version(5)));
+        assert_eq!(cut[&shard(0)], Version(3));
     }
 
     #[test]

@@ -18,29 +18,26 @@ use dpr_core::{Result, ShardId, Token, Version};
 use dpr_metadata::{Cut, MetadataStore};
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Record the cut lag (`Vmax - min(Vsafe)`, the §3.4 fast-forward
 /// pressure): how far the persisted frontier has run ahead of the published
 /// cut. Sampled at the *start* of each refresh, against the cut the previous
 /// refresh published — i.e. the gap this refresh is about to close, which is
-/// the lag clients actually observe between refreshes. The extra metadata
-/// reads only happen while telemetry is enabled; errors are swallowed — the
-/// metric is best-effort.
+/// the lag clients actually observe between refreshes. Goes through the
+/// store's **uncharged** [`MetadataStore::telemetry_frontier`] path, so
+/// enabling telemetry never inflates the `statements/version` protocol-cost
+/// metric; errors are swallowed — the metric is best-effort.
 fn observe_cut_lag(meta: &dyn MetadataStore) {
     if !dpr_telemetry::enabled() {
         return;
     }
-    let vmax = meta
-        .max_persisted_version()
-        .ok()
-        .flatten()
-        .unwrap_or(Version::ZERO);
-    let vsafe = meta
-        .read_cut()
-        .ok()
-        .and_then(|cut| cut.values().min().copied())
-        .unwrap_or(Version::ZERO);
+    let Ok((vmax, cut)) = meta.telemetry_frontier() else {
+        return;
+    };
+    let vmax = vmax.unwrap_or(Version::ZERO);
+    let vsafe = cut.values().min().copied().unwrap_or(Version::ZERO);
     let lag = vmax.0.saturating_sub(vsafe.0);
     crate::metrics::cut_lag().record(lag);
 }
@@ -99,33 +96,48 @@ fn max_versions_per_shard(reports: &[(Token, Vec<Token>)]) -> Vec<(ShardId, Vers
 /// committed token to its dependency tokens. A token may be included iff all
 /// its dependencies are at or below the chosen cut; the fixpoint lowers each
 /// shard's candidate until closure holds.
-fn compute_closure_cut(graph: &BTreeMap<Token, Vec<Token>>, floor: &Cut) -> Cut {
-    compute_closure_cut_capped(graph, floor, &Cut::new())
-}
-
-/// Like [`compute_closure_cut`], but shards whose floor has not yet passed
-/// `lost_ceiling` are pinned at the floor: the graph may be missing entries
-/// for their versions at or below the ceiling (a crashed coordinator, §3.4),
-/// so their dependency sets cannot be trusted.
-fn compute_closure_cut_capped(
+///
+/// Shards whose floor has not yet passed `lost_ceiling` are pinned at the
+/// floor: the graph may be missing entries for their versions at or below
+/// the ceiling (a crashed coordinator, §3.4), so their dependency sets
+/// cannot be trusted. Pass an empty ceiling for the uncapped closure.
+///
+/// This is the reference ("full recompute") algorithm — the property-test
+/// oracle that [`CutEngine`] in [`CutEngineMode::Delta`] must agree with.
+#[must_use]
+pub fn compute_closure_cut_capped(
     graph: &BTreeMap<Token, Vec<Token>>,
     floor: &Cut,
     lost_ceiling: &Cut,
 ) -> Cut {
+    use std::ops::Bound;
     let mut cut = floor.clone();
     // Candidates start at each shard's max committed version — except
-    // shards with a possibly-lost subgraph, which stay at the floor.
-    for token in graph.keys() {
-        let floor_v = floor.get(&token.shard).copied().unwrap_or(Version::ZERO);
-        let ceiling = lost_ceiling
-            .get(&token.shard)
-            .copied()
-            .unwrap_or(Version::ZERO);
+    // shards with a possibly-lost subgraph, which stay at the floor. Tokens
+    // sort shard-major, so each shard's entries are contiguous: a skip-scan
+    // visits one `range` per *shard* (O(shards · log n)) instead of every
+    // token, and the floor/ceiling pin check runs once per shard rather
+    // than once per token.
+    let mut next = graph.keys().next().copied();
+    while let Some(first) = next {
+        let shard = first.shard;
+        let shard_max = Token::new(shard, Version(u64::MAX));
+        let last = *graph
+            .range(first..=shard_max)
+            .next_back()
+            .expect("range contains `first`")
+            .0;
+        next = graph
+            .range((Bound::Excluded(shard_max), Bound::Unbounded))
+            .next()
+            .map(|(t, _)| *t);
+        let floor_v = floor.get(&shard).copied().unwrap_or(Version::ZERO);
+        let ceiling = lost_ceiling.get(&shard).copied().unwrap_or(Version::ZERO);
         if floor_v < ceiling {
             continue;
         }
-        let e = cut.entry(token.shard).or_insert(Version::ZERO);
-        *e = (*e).max(token.version);
+        let e = cut.entry(shard).or_insert(Version::ZERO);
+        *e = (*e).max(last.version);
     }
     loop {
         let mut changed = false;
@@ -154,15 +166,182 @@ fn compute_closure_cut_capped(
     }
 }
 
+/// How a [`CutEngine`] computes cuts.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum CutEngineMode {
+    /// Incremental delta closure (the default): the engine keeps only the
+    /// *pending* subgraph — tokens above the last committed cut — and runs
+    /// the lowering fixpoint over it in place, with **zero full-graph
+    /// clones** on the refresh hot path. Work per refresh is bounded by the
+    /// cut lag, not by history.
+    #[default]
+    Delta,
+    /// Full recompute over the complete reported history: the engine never
+    /// prunes its graph and clones it for every pass (the legacy cost
+    /// model). Retained behind this flag as the property-test **oracle**
+    /// the delta engine must agree with, and as the bench baseline.
+    FullRecompute,
+}
+
+/// The shared cut-computation core of [`ExactFinder`] and [`HybridFinder`].
+///
+/// Two structural properties matter beyond raw speed:
+///
+/// * **No lost reports.** Commit reports land in a *mailbox* (its own
+///   lock), never directly in the closure graph. A compute pass drains the
+///   mailbox into the graph and runs the fixpoint under one graph-lock
+///   hold; [`CutEngine::commit`] prunes only tokens that participated in a
+///   pass. A report racing a refresh therefore either joins this pass or
+///   waits intact in the mailbox for the next one — the
+///   snapshot-then-retain window of the old `HybridFinder::refresh`
+///   (where a racing report could be pruned without ever being
+///   closure-checked) no longer exists.
+/// * **Delta ≡ full recompute.** Pruning tokens at or below a *published*
+///   cut `C` preserves the fixpoint: the store's cut is monotone, so every
+///   later floor satisfies `floor ≥ read_cut ≥ C`, which means (a) a pruned
+///   token's own closure check is skipped anyway (`version ≤ floor`), and
+///   (b) its contribution to candidate seeding is dominated by the floor.
+///   Note an *incremental admission* scheme would **not** be equivalent:
+///   mutually dependent same-version tokens (A:1 ⇄ B:1) are admitted
+///   atomically by the lowering fixpoint but never one-at-a-time — which is
+///   why the delta engine re-runs the fixpoint over the pending subgraph
+///   instead of raising the cut edge by edge. `tests/cut_properties.rs`
+///   checks the equivalence against [`compute_closure_cut_capped`] over
+///   random graphs, prune interleavings, and lost-ceiling caps.
+pub struct CutEngine {
+    mode: CutEngineMode,
+    /// Incoming reports; appended by the report hot path without ever
+    /// contending with a running closure pass.
+    mailbox: Mutex<Vec<(Token, Vec<Token>)>>,
+    /// The closure graph: pending-only in [`CutEngineMode::Delta`], the
+    /// complete history in [`CutEngineMode::FullRecompute`].
+    graph: Mutex<BTreeMap<Token, Vec<Token>>>,
+    /// Whole-graph clones performed by compute passes — always `0` in
+    /// [`CutEngineMode::Delta`]; the `meta_scaling` bench asserts that.
+    clones: AtomicU64,
+}
+
+impl CutEngine {
+    /// An empty engine.
+    #[must_use]
+    pub fn new(mode: CutEngineMode) -> Self {
+        CutEngine {
+            mode,
+            mailbox: Mutex::new(Vec::new()),
+            graph: Mutex::new(BTreeMap::new()),
+            clones: AtomicU64::new(0),
+        }
+    }
+
+    /// The engine's compute mode.
+    #[must_use]
+    pub fn mode(&self) -> CutEngineMode {
+        self.mode
+    }
+
+    /// Enqueue one commit report.
+    pub fn ingest_one(&self, token: Token, deps: Vec<Token>) {
+        self.mailbox.lock().push((token, deps));
+    }
+
+    /// Enqueue a group of commit reports.
+    pub fn ingest(&self, reports: Vec<(Token, Vec<Token>)>) {
+        self.mailbox.lock().extend(reports);
+    }
+
+    /// Load entries straight into the closure graph (initial seeding from a
+    /// durable snapshot; a restarted coordinator resumes from what the
+    /// store kept).
+    pub fn seed(&self, entries: Vec<(Token, Vec<Token>)>) {
+        self.graph.lock().extend(entries);
+    }
+
+    /// Drain the mailbox and compute the maximal closed cut over the graph,
+    /// capped by `lost_ceiling` (see [`compute_closure_cut_capped`]).
+    #[must_use]
+    pub fn compute(&self, floor: &Cut, lost_ceiling: &Cut) -> Cut {
+        let mut graph = self.graph.lock();
+        {
+            let mut mailbox = self.mailbox.lock();
+            if !mailbox.is_empty() {
+                for (token, deps) in mailbox.drain(..) {
+                    graph.insert(token, deps);
+                }
+            }
+        }
+        crate::metrics::delta_pending_tokens().set(graph.len() as i64);
+        match self.mode {
+            CutEngineMode::Delta => compute_closure_cut_capped(&graph, floor, lost_ceiling),
+            CutEngineMode::FullRecompute => {
+                // Legacy cost model: snapshot the whole graph, compute on
+                // the clone.
+                self.clones.fetch_add(1, Ordering::Relaxed);
+                let snapshot = graph.clone();
+                drop(graph);
+                compute_closure_cut_capped(&snapshot, floor, lost_ceiling)
+            }
+        }
+    }
+
+    /// Acknowledge a **published** cut: drop graph tokens at or below it.
+    /// Only sound for cuts that actually reached the store (publication
+    /// makes every later floor dominate them — see the type docs); callers
+    /// must skip this when `update_cut_atomically` fails.
+    pub fn commit(&self, cut: &Cut) {
+        if self.mode == CutEngineMode::FullRecompute {
+            return; // the oracle keeps the complete history
+        }
+        let mut graph = self.graph.lock();
+        graph.retain(|t, _| cut.get(&t.shard).copied().unwrap_or(Version::ZERO) < t.version);
+        crate::metrics::delta_pending_tokens().set(graph.len() as i64);
+    }
+
+    /// Forget everything (coordinator crash: the in-memory graph is lost).
+    pub fn clear(&self) {
+        self.mailbox.lock().clear();
+        self.graph.lock().clear();
+        crate::metrics::delta_pending_tokens().set(0);
+    }
+
+    /// Tokens currently held (graph + undrained mailbox) — the delta
+    /// engine's working-set size, bounded by cut lag in
+    /// [`CutEngineMode::Delta`].
+    #[must_use]
+    pub fn pending_len(&self) -> usize {
+        self.graph.lock().len() + self.mailbox.lock().len()
+    }
+
+    /// Whole-graph clones performed so far (refresh hot-path cost witness:
+    /// [`CutEngineMode::Delta`] never clones).
+    #[must_use]
+    pub fn full_graph_clones(&self) -> u64 {
+        self.clones.load(Ordering::Relaxed)
+    }
+}
+
 /// The exact algorithm: durable precedence graph + coordinator traversal.
 pub struct ExactFinder {
     meta: Arc<dyn MetadataStore>,
+    engine: CutEngine,
 }
 
 impl ExactFinder {
-    /// Finder over the shared metadata store.
+    /// Finder over the shared metadata store, with the incremental
+    /// delta-closure engine.
     pub fn new(meta: Arc<dyn MetadataStore>) -> Self {
-        ExactFinder { meta }
+        Self::with_mode(meta, CutEngineMode::Delta)
+    }
+
+    /// Finder with an explicit [`CutEngineMode`] (tests and benches pick
+    /// [`CutEngineMode::FullRecompute`] as the oracle/baseline).
+    pub fn with_mode(meta: Arc<dyn MetadataStore>, mode: CutEngineMode) -> Self {
+        let engine = CutEngine::new(mode);
+        // One durable snapshot at construction seeds the in-memory mirror;
+        // afterwards the refresh path never re-reads the graph table.
+        if let Ok(snapshot) = meta.graph_snapshot() {
+            engine.seed(snapshot);
+        }
+        ExactFinder { meta, engine }
     }
 }
 
@@ -173,7 +352,9 @@ impl DprFinder for ExactFinder {
         crate::audit::commit_reported(token, &deps);
         self.meta
             .update_persisted_version(token.shard, token.version)?;
-        self.meta.add_graph_version(token, deps)
+        self.meta.add_graph_version(token, deps.clone())?;
+        self.engine.ingest_one(token, deps);
+        Ok(())
     }
 
     fn report_commits(&self, reports: Vec<(Token, Vec<Token>)>) -> Result<()> {
@@ -189,18 +370,20 @@ impl DprFinder for ExactFinder {
         // One DPR-table statement (max version per shard) + one graph insert.
         self.meta
             .update_persisted_versions(&max_versions_per_shard(&reports))?;
-        self.meta.add_graph_versions(reports)
+        self.meta.add_graph_versions(reports.clone())?;
+        self.engine.ingest(reports);
+        Ok(())
     }
 
     fn refresh(&self) -> Result<()> {
         let _timer = crate::metrics::finder_refresh().start_timer();
         observe_cut_lag(&*self.meta);
         let floor = self.meta.read_cut()?;
-        let graph: BTreeMap<Token, Vec<Token>> = self.meta.graph_snapshot()?.into_iter().collect();
-        let cut = compute_closure_cut(&graph, &floor);
+        let cut = self.engine.compute(&floor, &Cut::new());
         match self.meta.update_cut_atomically(cut.clone()) {
             Ok(()) => {
                 crate::audit::cut_published(&cut);
+                self.engine.commit(&cut);
                 self.meta.prune_graph_below(&cut)?;
                 Ok(())
             }
@@ -312,7 +495,7 @@ impl DprFinder for ApproximateFinder {
 pub struct HybridFinder {
     meta: Arc<dyn MetadataStore>,
     approx: ApproximateFinder,
-    graph: Mutex<BTreeMap<Token, Vec<Token>>>,
+    engine: CutEngine,
     /// Per shard, the highest version whose graph entry may have been lost
     /// (coordinator crash/restart). The exact component may not advance a
     /// shard past its floor until the floor passes this ceiling — the
@@ -322,16 +505,22 @@ pub struct HybridFinder {
 }
 
 impl HybridFinder {
-    /// Finder over the shared metadata store. A freshly constructed
-    /// coordinator treats everything already persisted as possibly-lost
-    /// (it has no graph for it), so a restarted coordinator is safe by
-    /// construction.
+    /// Finder over the shared metadata store, with the incremental
+    /// delta-closure engine. A freshly constructed coordinator treats
+    /// everything already persisted as possibly-lost (it has no graph for
+    /// it), so a restarted coordinator is safe by construction.
     pub fn new(meta: Arc<dyn MetadataStore>) -> Self {
+        Self::with_mode(meta, CutEngineMode::Delta)
+    }
+
+    /// Finder with an explicit [`CutEngineMode`] (tests and benches pick
+    /// [`CutEngineMode::FullRecompute`] as the oracle/baseline).
+    pub fn with_mode(meta: Arc<dyn MetadataStore>, mode: CutEngineMode) -> Self {
         let lost_ceiling = meta.persisted_versions().unwrap_or_default();
         HybridFinder {
             approx: ApproximateFinder::new(meta.clone()),
             meta,
-            graph: Mutex::new(BTreeMap::new()),
+            engine: CutEngine::new(mode),
             lost_ceiling: Mutex::new(lost_ceiling),
         }
     }
@@ -340,8 +529,22 @@ impl HybridFinder {
     /// The cut keeps advancing via the approximate floor, and exact
     /// precision resumes per shard once the floor passes the lost region.
     pub fn simulate_coordinator_crash(&self) {
-        self.graph.lock().clear();
+        self.engine.clear();
         *self.lost_ceiling.lock() = self.meta.persisted_versions().unwrap_or_default();
+    }
+
+    /// Tokens the delta engine currently holds (graph + mailbox) — exposed
+    /// for the `meta_scaling` bench's working-set report.
+    #[must_use]
+    pub fn pending_tokens(&self) -> usize {
+        self.engine.pending_len()
+    }
+
+    /// Whole-graph clones the engine has performed (see
+    /// [`CutEngine::full_graph_clones`]).
+    #[must_use]
+    pub fn full_graph_clones(&self) -> u64 {
+        self.engine.full_graph_clones()
     }
 }
 
@@ -353,7 +556,7 @@ impl DprFinder for HybridFinder {
         crate::audit::commit_reported(token, &deps);
         self.meta
             .update_persisted_version(token.shard, token.version)?;
-        self.graph.lock().insert(token, deps);
+        self.engine.ingest_one(token, deps);
         Ok(())
     }
 
@@ -370,7 +573,7 @@ impl DprFinder for HybridFinder {
         // One durable statement for the whole group; the graph is in-memory.
         self.meta
             .update_persisted_versions(&max_versions_per_shard(&reports))?;
-        self.graph.lock().extend(reports);
+        self.engine.ingest(reports);
         Ok(())
     }
 
@@ -384,23 +587,21 @@ impl DprFinder for HybridFinder {
             let e = floor.entry(s).or_insert(Version::ZERO);
             *e = (*e).max(v);
         }
-        // ...then exact refinement from whatever graph is in memory, holding
-        // back shards whose lost subgraph the floor has not yet cleared.
-        // The closure fixpoint runs on a *snapshot* so commit reporting (the
-        // per-batch hot path) is never blocked behind it; only the final
-        // retain — O(graph) with no fixpoint — holds the lock.
+        // ...then exact refinement over the engine's pending subgraph,
+        // holding back shards whose lost subgraph the floor has not yet
+        // cleared. Commit reporting (the per-batch hot path) lands in the
+        // engine mailbox and is never blocked behind the fixpoint; a report
+        // racing this pass either joins it or waits intact for the next —
+        // nothing is pruned without being closure-checked.
         let ceiling = self.lost_ceiling.lock().clone();
-        let snapshot = self.graph.lock().clone();
-        let cut = compute_closure_cut_capped(&snapshot, &floor, &ceiling);
-        self.graph
-            .lock()
-            .retain(|t, _| cut.get(&t.shard).copied().unwrap_or(Version::ZERO) < t.version);
+        let cut = self.engine.compute(&floor, &ceiling);
         let audited = crate::audit::enabled().then(|| cut.clone());
-        match self.meta.update_cut_atomically(cut) {
+        match self.meta.update_cut_atomically(cut.clone()) {
             Ok(()) => {
                 if let Some(cut) = audited {
                     crate::audit::cut_published(&cut);
                 }
+                self.engine.commit(&cut);
                 Ok(())
             }
             Err(dpr_core::DprError::Recovering) => Ok(()),
@@ -628,6 +829,133 @@ mod tests {
             .unwrap();
         finder.refresh().unwrap();
         assert_eq!(finder.current_cut().unwrap()[&ShardId(0)], Version(1));
+    }
+
+    /// Satellite fix: the seeding pass pins a shard at the floor while the
+    /// floor is below its lost ceiling, and releases it the moment the
+    /// floor passes the ceiling mid-refresh-cycle — with the pin check now
+    /// hoisted to once per shard, both sides must still hold.
+    #[test]
+    fn capped_seeding_pins_until_floor_passes_lost_ceiling() {
+        let graph: BTreeMap<Token, Vec<Token>> =
+            [(t(0, 5), vec![]), (t(0, 6), vec![]), (t(1, 4), vec![])]
+                .into_iter()
+                .collect();
+        let ceiling: Cut = [(ShardId(0), Version(4))].into_iter().collect();
+
+        // Floor below the ceiling: shard 0 pinned at its floor even though
+        // the graph reaches v6; shard 1 (no ceiling) seeds freely.
+        let floor: Cut = [(ShardId(0), Version(2)), (ShardId(1), Version(1))]
+            .into_iter()
+            .collect();
+        let cut = compute_closure_cut_capped(&graph, &floor, &ceiling);
+        assert_eq!(cut[&ShardId(0)], Version(2), "pinned at the floor");
+        assert_eq!(cut[&ShardId(1)], Version(4));
+
+        // The floor passes the ceiling (the approximate component caught
+        // up between refreshes): the pin releases and exact precision
+        // resumes from the graph.
+        let floor: Cut = [(ShardId(0), Version(4)), (ShardId(1), Version(1))]
+            .into_iter()
+            .collect();
+        let cut = compute_closure_cut_capped(&graph, &floor, &ceiling);
+        assert_eq!(cut[&ShardId(0)], Version(6), "exact precision resumed");
+    }
+
+    /// Satellite fix: telemetry reads ride the uncharged
+    /// `telemetry_frontier` path, so enabling telemetry must not change the
+    /// charged statement count of a refresh (the `statements/version`
+    /// headline number).
+    #[test]
+    fn telemetry_does_not_inflate_charged_statements() {
+        let run = |telemetry: bool| -> u64 {
+            let (meta, _) = setup(2);
+            let finder = HybridFinder::new(meta.clone());
+            finder.report_commit(t(0, 1), vec![]).unwrap();
+            finder.report_commit(t(1, 1), vec![t(0, 1)]).unwrap();
+            let before = meta.statement_count();
+            let was = dpr_telemetry::enabled();
+            dpr_telemetry::set_enabled(telemetry);
+            finder.refresh().unwrap();
+            dpr_telemetry::set_enabled(was);
+            meta.statement_count() - before
+        };
+        assert_eq!(
+            run(false),
+            run(true),
+            "telemetry-enabled refresh must charge the same statements"
+        );
+    }
+
+    /// Delta and full-recompute engines publish identical cuts across
+    /// report → refresh → report → refresh cycles (the unit-sized version
+    /// of the property test in tests/cut_properties.rs).
+    #[test]
+    fn delta_and_full_recompute_modes_agree() {
+        let rounds: [Vec<(Token, Vec<Token>)>; 3] = [
+            vec![(t(0, 1), vec![]), (t(1, 1), vec![t(0, 1)])],
+            // Mutually dependent same-version pair: only the lowering
+            // fixpoint admits these atomically.
+            vec![(t(0, 2), vec![t(1, 2)]), (t(1, 2), vec![t(0, 2)])],
+            vec![(t(0, 3), vec![t(1, 2)])],
+        ];
+        let (meta_d, _) = setup(2);
+        let delta = HybridFinder::with_mode(meta_d, CutEngineMode::Delta);
+        let (meta_f, _) = setup(2);
+        let full = HybridFinder::with_mode(meta_f, CutEngineMode::FullRecompute);
+        for round in rounds {
+            delta.report_commits(round.clone()).unwrap();
+            full.report_commits(round).unwrap();
+            delta.refresh().unwrap();
+            full.refresh().unwrap();
+            assert_eq!(delta.current_cut().unwrap(), full.current_cut().unwrap());
+        }
+        // The delta engine pruned what it published; the oracle keeps all.
+        assert_eq!(delta.pending_tokens(), 0);
+    }
+
+    /// The engine never loses a report that races a refresh: a token
+    /// sitting in the mailbox during a compute pass survives (un-pruned)
+    /// into the next pass and is closure-checked there.
+    #[test]
+    fn mailbox_report_during_refresh_is_not_lost() {
+        let engine = CutEngine::new(CutEngineMode::Delta);
+        engine.ingest_one(t(0, 1), vec![]);
+        let floor = Cut::new();
+        let cut = engine.compute(&floor, &Cut::new());
+        // Report lands after the pass but before commit — the old
+        // snapshot-then-retain window.
+        engine.ingest_one(t(1, 1), vec![t(0, 2)]);
+        engine.commit(&cut);
+        assert_eq!(cut[&ShardId(0)], Version(1));
+        // The racing report is intact and held back by its unmet dep.
+        let cut2 = engine.compute(&cut, &Cut::new());
+        assert_eq!(cut2.get(&ShardId(1)).copied(), Some(Version::ZERO));
+        engine.ingest_one(t(0, 2), vec![]);
+        let cut3 = engine.compute(&cut2, &Cut::new());
+        assert_eq!(cut3[&ShardId(1)], Version(1));
+    }
+
+    /// `ExactFinder` must keep exact semantics on non-monotone graphs with
+    /// the delta engine: a restarted coordinator re-seeds its mirror from
+    /// the durable graph.
+    #[test]
+    fn exact_finder_reseeds_mirror_from_durable_graph() {
+        let (meta, _) = setup(2);
+        {
+            let finder = ExactFinder::new(meta.clone());
+            finder.report_commit(t(0, 1), vec![]).unwrap();
+            finder.report_commit(t(0, 2), vec![t(1, 1)]).unwrap();
+            // No refresh: the durable graph still holds both tokens.
+        }
+        // A new coordinator instance over the same store.
+        let finder = ExactFinder::new(meta);
+        finder.refresh().unwrap();
+        let cut = finder.current_cut().unwrap();
+        assert_eq!(cut[&ShardId(0)], Version(1), "v2 held back by unmet dep");
+        finder.report_commit(t(1, 1), vec![]).unwrap();
+        finder.refresh().unwrap();
+        assert_eq!(finder.current_cut().unwrap()[&ShardId(0)], Version(2));
     }
 
     #[test]

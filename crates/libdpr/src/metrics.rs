@@ -72,3 +72,12 @@ metric_fn!(
         ("dpr_finder_cut_lag_versions", Versions,
          "Vmax minus the minimum cut version, observed at each finder refresh")
 );
+
+metric_fn!(
+    /// Tokens held by the delta-closure engine's pending graph, sampled at
+    /// each compute/commit. Bounded by cut lag in delta mode; grows with
+    /// history in full-recompute (oracle) mode.
+    pub(crate) fn delta_pending_tokens() -> Gauge =
+        ("dpr_finder_delta_pending_tokens", Count,
+         "Tokens in the cut engine's pending closure graph (delta working set)")
+);

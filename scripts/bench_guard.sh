@@ -8,6 +8,9 @@
 #                           batches_per_sec across thread points)
 #   BENCH_net.smoke.json  — loopback netload    (metric: summary
 #                           .peak_ops_per_sec)
+#   BENCH_meta.smoke.json — metadata/finder plane (metric: summary
+#                           .delta_refreshes_per_sec_hi; also re-asserts
+#                           zero full-graph clones on the delta path)
 #
 # Regenerate a baseline deliberately (e.g. after a hardware change or an
 # accepted perf trade-off) by copying the fresh smoke out of target/:
@@ -70,6 +73,25 @@ print(json.load(open('BENCH_net.smoke.json'))['summary']['peak_ops_per_sec'])")
     compare "netload peak ops/s" "$current" "$baseline"
 else
     echo "    SKIP net guard: no checked-in BENCH_net.smoke.json baseline"
+fi
+
+echo "==> bench guard: meta_scaling smoke"
+DPR_BENCH_SECS=0.25 DPR_META_SHARDS=4,8 \
+    DPR_META_JSON=target/BENCH_meta.smoke.json \
+    cargo run --release -q -p dpr-bench --bin meta_scaling
+
+if [[ -f BENCH_meta.smoke.json ]]; then
+    current=$(python3 -c "
+import json
+d = json.load(open('target/BENCH_meta.smoke.json'))
+assert d['summary']['delta_full_graph_clones'] == 0, 'delta engine cloned the graph'
+print(d['summary']['delta_refreshes_per_sec_hi'])")
+    baseline=$(python3 -c "
+import json
+print(json.load(open('BENCH_meta.smoke.json'))['summary']['delta_refreshes_per_sec_hi'])")
+    compare "meta delta refreshes/s" "$current" "$baseline"
+else
+    echo "    SKIP meta guard: no checked-in BENCH_meta.smoke.json baseline"
 fi
 
 if [[ "$FAIL" -ne 0 ]]; then

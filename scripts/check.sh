@@ -65,14 +65,15 @@ echo "==> chaos smoke (1 round, seed 42, 2s)"
 cargo run --release -q -p dpr-bench --bin chaos -- \
     --seed 42 --rounds 1 --secs 2 --out target/BENCH_chaos.smoke.json
 
-# Bench guard: regenerates the gate-scaling and netload smokes (a ~1 s §6
-# gate microbench and a short loopback netload run exercising the framed
-# wire protocol end to end) and fails if throughput regressed more than
-# DPR_BENCH_GUARD_PCT percent (default 25) against the checked-in
-# BENCH_*.smoke.json baselines. Full-length BENCH_*.json artifacts are
-# regenerated manually, not here.
+# Bench guard: regenerates the gate-scaling, netload, and meta-scaling
+# smokes (a ~1 s §6 gate microbench, a short loopback netload run
+# exercising the framed wire protocol end to end, and a short
+# metadata/finder-plane run over the partitioned store + delta engine)
+# and fails if throughput regressed more than DPR_BENCH_GUARD_PCT percent
+# (default 25) against the checked-in BENCH_*.smoke.json baselines.
+# Full-length BENCH_*.json artifacts are regenerated manually, not here.
 echo
-echo "==> bench guard (gate + netload smokes vs checked-in baselines)"
+echo "==> bench guard (gate + netload + meta smokes vs checked-in baselines)"
 scripts/bench_guard.sh
 
 echo

@@ -5,8 +5,10 @@
 
 use dpr::core::{ShardId, Token, Version};
 use dpr::metadata::{MetadataStore, SimulatedSqlStore};
-use dpr::protocol::finder::cut_is_closed;
-use dpr::protocol::{ApproximateFinder, DprFinder, ExactFinder, HybridFinder};
+use dpr::protocol::finder::{compute_closure_cut_capped, cut_is_closed};
+use dpr::protocol::{
+    ApproximateFinder, Cut, CutEngine, CutEngineMode, DprFinder, ExactFinder, HybridFinder,
+};
 use proptest::prelude::*;
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -203,5 +205,159 @@ proptest! {
         hybrid.refresh().unwrap();
         let cut = hybrid.current_cut().unwrap();
         prop_assert!(cut_is_closed(&graph, &cut), "post-crash cut {cut:?} not closed");
+    }
+
+    /// The delta engine must emit the *same* cut as the full-recompute
+    /// oracle ([`compute_closure_cut_capped`] over the complete history)
+    /// at every compute, across random graphs (non-monotone allowed),
+    /// random prune (commit) interleavings — including failed publishes
+    /// that skip the commit — external floor raises, and lost-ceiling
+    /// caps whose pins a rising floor eventually passes.
+    #[test]
+    fn delta_engine_matches_full_recompute_oracle(
+        events in prop::collection::vec((commit_strategy(), 0..8u8), 1..80),
+        ceiling_entries in prop::collection::vec((0..SHARDS, 1..6u64), 0..3),
+    ) {
+        let ceiling: Cut = ceiling_entries
+            .into_iter()
+            .map(|(s, v)| (ShardId(s), Version(v)))
+            .collect();
+        let engine = CutEngine::new(CutEngineMode::Delta);
+        let mut full: BTreeMap<Token, Vec<Token>> = BTreeMap::new();
+        let mut versions = [0u64; SHARDS as usize];
+        // The floor the finders would hand the engine: the last *published*
+        // cut joined with an external component (persisted-version
+        // progress), both monotone — exactly the precondition the
+        // delta ≡ full theorem needs.
+        let mut published = Cut::new();
+        let mut external = [0u64; SHARDS as usize];
+        for (c, flags) in &events {
+            versions[c.shard as usize] += 1;
+            let v = versions[c.shard as usize];
+            let deps: Vec<Token> = c
+                .deps
+                .iter()
+                .filter(|(s, _)| *s != c.shard)
+                .map(|(s, dv)| Token::new(ShardId(*s), Version(*dv)))
+                .collect();
+            let token = Token::new(ShardId(c.shard), Version(v));
+            full.insert(token, deps.clone());
+            engine.ingest_one(token, deps);
+            if flags & 4 != 0 {
+                // External floor progress on this shard (a checkpoint
+                // catching up) — this is what walks a pinned shard's floor
+                // past its lost ceiling.
+                external[c.shard as usize] = v;
+            }
+            if flags & 1 != 0 {
+                let mut floor = published.clone();
+                for s in 0..SHARDS {
+                    let e = floor.entry(ShardId(s)).or_insert(Version::ZERO);
+                    *e = (*e).max(Version(external[s as usize]));
+                }
+                let cut = engine.compute(&floor, &ceiling);
+                let oracle = compute_closure_cut_capped(&full, &floor, &ceiling);
+                prop_assert_eq!(
+                    &cut, &oracle,
+                    "delta cut diverged from oracle at floor {:?} ceiling {:?}",
+                    &floor, &ceiling
+                );
+                if flags & 2 != 0 {
+                    // Publish succeeded: prune the delta working set.
+                    engine.commit(&cut);
+                    published = cut;
+                }
+                // flags & 2 == 0 models a failed publish (store
+                // recovering): the engine must keep its tokens.
+            }
+        }
+    }
+
+    /// Finder-level equivalence: a Delta [`ExactFinder`] and a
+    /// FullRecompute one over identical (adversarial, non-monotone) report
+    /// streams publish identical cuts at every refresh — including after
+    /// the delta finder is torn down and re-seeded from the durable graph
+    /// (coordinator restart).
+    #[test]
+    fn exact_finder_delta_matches_full_recompute(
+        events in prop::collection::vec((commit_strategy(), 0..8u8), 1..60),
+    ) {
+        let meta_delta = setup();
+        let meta_full = setup();
+        let mut delta = ExactFinder::with_mode(meta_delta.clone(), CutEngineMode::Delta);
+        let full = ExactFinder::with_mode(meta_full.clone(), CutEngineMode::FullRecompute);
+        let mut versions = [0u64; SHARDS as usize];
+        for (c, flags) in &events {
+            versions[c.shard as usize] += 1;
+            let v = versions[c.shard as usize];
+            let deps: Vec<Token> = c
+                .deps
+                .iter()
+                .filter(|(s, _)| *s != c.shard)
+                .map(|(s, dv)| Token::new(ShardId(*s), Version(*dv)))
+                .collect();
+            let token = Token::new(ShardId(c.shard), Version(v));
+            delta.report_commit(token, deps.clone()).unwrap();
+            full.report_commit(token, deps).unwrap();
+            if flags & 2 != 0 {
+                // Coordinator restart: a fresh delta finder re-seeds its
+                // engine from the durable graph table.
+                delta = ExactFinder::with_mode(meta_delta.clone(), CutEngineMode::Delta);
+            }
+            if flags & 1 != 0 {
+                delta.refresh().unwrap();
+                full.refresh().unwrap();
+                let dc = delta.current_cut().unwrap();
+                let fc = full.current_cut().unwrap();
+                prop_assert_eq!(&dc, &fc, "exact delta/full cuts diverged");
+            }
+        }
+    }
+
+    /// Hybrid-finder equivalence under the full event mix: monotone
+    /// reports, persisted-version progress (which moves the approximate
+    /// floor), coordinator crashes (which engage the lost ceiling), and
+    /// interleaved refreshes. Delta and FullRecompute must stay
+    /// cut-for-cut identical.
+    #[test]
+    fn hybrid_finder_delta_matches_full_recompute(
+        events in prop::collection::vec((commit_strategy(), 0..16u8), 1..60),
+    ) {
+        let meta_delta = setup();
+        let meta_full = setup();
+        let delta = HybridFinder::with_mode(meta_delta.clone(), CutEngineMode::Delta);
+        let full = HybridFinder::with_mode(meta_full.clone(), CutEngineMode::FullRecompute);
+        let mut versions = [0u64; SHARDS as usize];
+        for (c, flags) in &events {
+            versions[c.shard as usize] += 1;
+            let v = versions[c.shard as usize];
+            let deps: Vec<Token> = c
+                .deps
+                .iter()
+                .filter(|(s, _)| *s != c.shard)
+                .map(|(s, dv)| Token::new(ShardId(*s), Version((*dv).min(v))))
+                .collect();
+            let token = Token::new(ShardId(c.shard), Version(v));
+            delta.report_commit(token, deps.clone()).unwrap();
+            full.report_commit(token, deps).unwrap();
+            if flags & 4 != 0 {
+                // Checkpoint progress: the approximate floor advances.
+                meta_delta.update_persisted_version(ShardId(c.shard), Version(v)).unwrap();
+                meta_full.update_persisted_version(ShardId(c.shard), Version(v)).unwrap();
+            }
+            if *flags == 11 {
+                // Rare: coordinator crash wipes both in-memory graphs and
+                // arms the lost ceiling from persisted versions.
+                delta.simulate_coordinator_crash();
+                full.simulate_coordinator_crash();
+            }
+            if flags & 1 != 0 {
+                delta.refresh().unwrap();
+                full.refresh().unwrap();
+                let dc = delta.current_cut().unwrap();
+                let fc = full.current_cut().unwrap();
+                prop_assert_eq!(&dc, &fc, "hybrid delta/full cuts diverged");
+            }
+        }
     }
 }
